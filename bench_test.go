@@ -1,0 +1,314 @@
+// Repository-level benchmark harness: one benchmark per table and
+// figure of the paper's evaluation, per DESIGN.md's experiment index.
+// The benchmarks regenerate the *shape* of each result — who is
+// flagged, under which detection mode, and how analysis cost scales
+// with the speculation bound — on this repository's simulator
+// substrate.
+package pitchfork_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pitchfork/internal/attacks"
+	"pitchfork/internal/cachesim"
+	"pitchfork/internal/core"
+	"pitchfork/internal/crypto"
+	"pitchfork/internal/ct"
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+	"pitchfork/internal/pitchfork"
+	"pitchfork/internal/sched"
+	"pitchfork/internal/symx"
+	"pitchfork/internal/testcases"
+)
+
+// ---------------------------------------------------------------------
+// Figures 1–13: the attack gallery, one benchmark each. Each iteration
+// replays the paper's directive schedule on a fresh machine and checks
+// the leak expectation.
+// ---------------------------------------------------------------------
+
+func benchAttack(b *testing.B, a attacks.Attack) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		recs, err := a.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		leak := false
+		for _, r := range recs {
+			for _, o := range r.Obs {
+				leak = leak || o.Secret()
+			}
+		}
+		if leak != a.WantSecretLeak {
+			b.Fatalf("%s: leak = %t", a.ID, leak)
+		}
+	}
+}
+
+func BenchmarkFig1SpectreV1(b *testing.B)      { benchAttack(b, attacks.Figure1()) }
+func BenchmarkFig2AliasPredictor(b *testing.B) { benchAttack(b, attacks.Figure2()) }
+func BenchmarkFig5StoreHazard(b *testing.B)    { benchAttack(b, attacks.Figure5()) }
+func BenchmarkFig6SpectreV11(b *testing.B)     { benchAttack(b, attacks.Figure6()) }
+func BenchmarkFig7SpectreV4(b *testing.B)      { benchAttack(b, attacks.Figure7()) }
+func BenchmarkFig8Fence(b *testing.B)          { benchAttack(b, attacks.Figure8()) }
+func BenchmarkFig11SpectreV2(b *testing.B)     { benchAttack(b, attacks.Figure11()) }
+func BenchmarkFig13Retpoline(b *testing.B)     { benchAttack(b, attacks.Figure13()) }
+
+// ---------------------------------------------------------------------
+// Table 2: per case study × backend, the §4.2.1 two-phase procedure.
+// Bounds are the paper's (250 / 20); StopAtFirst keeps flagged cells
+// cheap, clean cells pay for the full exploration like the original.
+// ---------------------------------------------------------------------
+
+func benchTable2(b *testing.B, caseIdx int, mode ct.Mode, want crypto.Finding) {
+	c := crypto.Cases()[caseIdx]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		got, err := crypto.Analyze(c, mode, crypto.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got != want {
+			b.Fatalf("%s/%s: finding = %s, want %s", c.Name, mode, got, want)
+		}
+	}
+}
+
+func BenchmarkTable2_Donna_C(b *testing.B)     { benchTable2(b, 0, ct.ModeC, crypto.Clean) }
+func BenchmarkTable2_Donna_FaCT(b *testing.B)  { benchTable2(b, 0, ct.ModeFaCT, crypto.Clean) }
+func BenchmarkTable2_Secretbox_C(b *testing.B) { benchTable2(b, 1, ct.ModeC, crypto.Flagged) }
+func BenchmarkTable2_Secretbox_FaCT(b *testing.B) {
+	benchTable2(b, 1, ct.ModeFaCT, crypto.Clean)
+}
+func BenchmarkTable2_SSL3_C(b *testing.B) { benchTable2(b, 2, ct.ModeC, crypto.Flagged) }
+func BenchmarkTable2_SSL3_FaCT(b *testing.B) {
+	benchTable2(b, 2, ct.ModeFaCT, crypto.FlaggedFwd)
+}
+func BenchmarkTable2_MEE_C(b *testing.B) { benchTable2(b, 3, ct.ModeC, crypto.Flagged) }
+func BenchmarkTable2_MEE_FaCT(b *testing.B) {
+	benchTable2(b, 3, ct.ModeFaCT, crypto.FlaggedFwd)
+}
+
+// ---------------------------------------------------------------------
+// §4.2 corpora: the Kocher suite, the speculative-only v1 suite, and
+// the v1.1 suite, at the paper's phase-1 bound.
+// ---------------------------------------------------------------------
+
+func benchCorpus(b *testing.B, cases []testcases.Case, bound int, fwd bool, wantFlagged bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cases {
+			m, err := c.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := pitchfork.Analyze(m, pitchfork.Options{
+				Bound:          bound,
+				ForwardHazards: fwd || c.NeedsFwdHazards,
+				StopAtFirst:    true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.SecretFree() != !wantFlagged {
+				b.Fatalf("%s: flagged = %t", c.Name, !rep.SecretFree())
+			}
+		}
+	}
+}
+
+func BenchmarkKocherSuite(b *testing.B) {
+	benchCorpus(b, testcases.Kocher(), pitchfork.BoundNoHazards, false, true)
+}
+
+func BenchmarkSpeculativeOnlyV1Suite(b *testing.B) {
+	benchCorpus(b, testcases.SpecOnlyV1(), pitchfork.BoundNoHazards, false, true)
+}
+
+func BenchmarkV11Suite(b *testing.B) {
+	// Hazard-dependent members run at the phase-2 bound per the paper.
+	cases := testcases.V11()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, c := range cases {
+			m, err := c.Build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			bound := pitchfork.BoundNoHazards
+			if c.NeedsFwdHazards {
+				bound = pitchfork.BoundWithHazards
+			}
+			rep, err := pitchfork.Analyze(m, pitchfork.Options{
+				Bound:          bound,
+				ForwardHazards: c.NeedsFwdHazards,
+				StopAtFirst:    true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.SecretFree() {
+				b.Fatalf("%s not flagged", c.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkKocherSymbolic measures the symbolic detector on the
+// baseline case with an unconstrained attacker index.
+func BenchmarkKocherSymbolic(b *testing.B) {
+	c := testcases.Kocher()[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sm, err := c.BuildSym()
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := pitchfork.AnalyzeSymbolic(sm, pitchfork.Options{Bound: 30, StopAtFirst: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.SecretFree() {
+			b.Fatal("not flagged")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// §4.2 tractability: schedule-space growth with the speculation bound,
+// with and without forwarding-hazard detection — the reason the paper
+// drops from bound 250 to bound 20 when hazards are on.
+// ---------------------------------------------------------------------
+
+func kocherMachine() *core.Machine {
+	m, err := testcases.Kocher()[0].Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func BenchmarkScheduleGeneration(b *testing.B) {
+	for _, bound := range []int{5, 20, 100, 250} {
+		for _, fwd := range []bool{false, true} {
+			name := fmt.Sprintf("bound=%d/fwd=%t", bound, fwd)
+			b.Run(name, func(b *testing.B) {
+				var paths, states int
+				for i := 0; i < b.N; i++ {
+					var err error
+					paths, states, _, err = sched.CountSchedules(kocherMachine(), bound, fwd, 2_000_000)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(paths), "paths")
+				b.ReportMetric(float64(states), "states")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Theorems: the property-test workloads as benchmarks, measuring the
+// semantics itself.
+// ---------------------------------------------------------------------
+
+func BenchmarkSequentialEquivalence(b *testing.B) {
+	a := attacks.Figure1()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := a.New()
+		if _, err := m.Run(a.Schedule); err != nil {
+			b.Fatal(err)
+		}
+		seq := a.New()
+		if _, _, err := core.RunSequential(seq, m.Retired); err != nil {
+			b.Fatal(err)
+		}
+		if !m.ApproxEqual(seq) {
+			b.Fatal("OoO and sequential states diverge")
+		}
+	}
+}
+
+func BenchmarkMachineStep(b *testing.B) {
+	a := attacks.Figure1()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := a.New()
+		for _, d := range a.Schedule {
+			if _, err := m.Step(d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSCTCheck(b *testing.B) {
+	a := attacks.Figure1()
+	m := a.New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if res := core.CheckSCT(m, a.Schedule, 4, newRng(int64(i))); res == nil {
+			b.Fatal("violation not observed")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Substrate microbenchmarks: compiler, solver, cache model.
+// ---------------------------------------------------------------------
+
+func BenchmarkCTCompile(b *testing.B) {
+	src := testcases.Kocher()[0].Src
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ct.Compile(src, ct.ModeC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolver(b *testing.B) {
+	x := symx.NewVar("x", mem.Public)
+	s := symx.NewSolver(1)
+	cond := symx.PathCondition{
+		{E: symx.Apply(isa.OpGt, x, symx.CW(4)), Truthy: true},
+		{E: symx.Apply(isa.OpLt, x, symx.CW(64)), Truthy: true},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Solve(cond); !ok {
+			b.Fatal("unsolved")
+		}
+	}
+}
+
+func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func BenchmarkCacheRecovery(b *testing.B) {
+	a := attacks.Figure1()
+	recs, err := a.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var trace core.Trace
+	for _, r := range recs {
+		trace = append(trace, r.Obs...)
+	}
+	cache, _ := cachesim.New(64, 4, 1)
+	fr := cachesim.FlushReload{Cache: cache, ProbeBase: 0x44, Stride: 1, Slots: 256}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if hot := fr.Recover(trace); len(hot) != 2 {
+			b.Fatalf("hot = %v", hot)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command ctlc compiles a CTL source file under either backend and
+// prints the generated program in the paper's instruction notation.
+//
+// Usage:
+//
+//	ctlc [-mode c|fact] [-run] file.ctl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/ct"
+)
+
+func main() {
+	mode := flag.String("mode", "c", "backend: c or fact")
+	run := flag.Bool("run", false, "execute sequentially and dump globals")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ctlc [flags] file.ctl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m := ct.ModeC
+	if *mode == "fact" {
+		m = ct.ModeFaCT
+	}
+	comp, err := ct.Compile(string(src), m)
+	if err != nil {
+		fatal(err)
+	}
+	for _, n := range comp.Prog.Points() {
+		in, _ := comp.Prog.At(n)
+		fmt.Printf("%4d: %s\n", n, in)
+	}
+	if !*run {
+		return
+	}
+	machine := core.New(comp.Prog)
+	if _, _, err := core.RunSequential(machine, 1_000_000); err != nil {
+		fatal(err)
+	}
+	fmt.Println("-- globals after sequential execution --")
+	for name, addr := range comp.GlobalAddr {
+		v, _ := machine.Mem.Read(addr)
+		fmt.Printf("%12s @ %#x = %s\n", name, addr, v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctlc:", err)
+	os.Exit(1)
+}

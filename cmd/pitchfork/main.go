@@ -1,0 +1,93 @@
+// Command pitchfork analyzes a CTL source file for speculative
+// constant-time violations, following the paper's §4.2.1 procedure.
+//
+// Usage:
+//
+//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] file.ctl
+//
+// Without -bound/-fwd the two-phase procedure runs: bound 250 without
+// forwarding-hazard detection, then bound 20 with it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/ct"
+	"pitchfork/internal/pitchfork"
+)
+
+func main() {
+	mode := flag.String("mode", "c", "backend: c (branchy) or fact (constant-time selects)")
+	bound := flag.Int("bound", 0, "speculation bound (0 = run the paper's two-phase procedure)")
+	fwd := flag.Bool("fwd", false, "enable forwarding-hazard detection (with -bound)")
+	all := flag.Bool("all", false, "report all violations, not just the first")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pitchfork [flags] file.ctl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m := ct.ModeC
+	if *mode == "fact" {
+		m = ct.ModeFaCT
+	}
+	comp, err := ct.Compile(string(src), m)
+	if err != nil {
+		fatal(err)
+	}
+	opts := pitchfork.Options{StopAtFirst: !*all}
+	if *bound > 0 {
+		opts.Bound = *bound
+		opts.ForwardHazards = *fwd
+		rep, err := pitchfork.Analyze(core.New(comp.Prog), opts)
+		if err != nil {
+			fatal(err)
+		}
+		report(rep)
+		return
+	}
+	p1, p2, err := pitchfork.AnalyzeProcedure(func() *core.Machine { return core.New(comp.Prog) }, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("phase 1 (bound %d, no hazard detection): %s\n", pitchfork.BoundNoHazards, p1.Summary())
+	if !p1.SecretFree() {
+		reportViolations(p1)
+		os.Exit(1)
+	}
+	fmt.Printf("phase 2 (bound %d, hazard detection):    %s\n", pitchfork.BoundWithHazards, p2.Summary())
+	if !p2.SecretFree() {
+		reportViolations(p2)
+		os.Exit(1)
+	}
+	fmt.Println("speculative constant-time at the analyzed bounds")
+}
+
+func report(rep pitchfork.Report) {
+	fmt.Println(rep.Summary())
+	if !rep.SecretFree() {
+		reportViolations(rep)
+		os.Exit(1)
+	}
+}
+
+func reportViolations(rep pitchfork.Report) {
+	for i, v := range rep.Violations {
+		fmt.Printf("violation %d: %s\n", i+1, v)
+		if len(v.Schedule) > 0 && len(v.Schedule) <= 40 {
+			fmt.Printf("  schedule: %s\n", v.Schedule)
+		}
+		fmt.Printf("  trace: %s\n", v.Trace)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pitchfork:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,41 @@
+// Command specrun replays the paper's worked figures — each as a
+// program plus attacker directive schedule — and prints the
+// directive/leakage tables the figures show.
+//
+// Usage:
+//
+//	specrun [fig1|fig2|fig5|fig6|fig7|fig8|fig11|fig13 ...]
+//
+// With no arguments, the whole gallery runs.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pitchfork/internal/attacks"
+)
+
+func main() {
+	want := map[string]bool{}
+	for _, a := range os.Args[1:] {
+		want[a] = true
+	}
+	ran := 0
+	for _, a := range attacks.Gallery() {
+		if len(want) > 0 && !want[a.ID] {
+			continue
+		}
+		out, err := a.Render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "specrun: %s: %v\n", a.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "specrun: no matching figures")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,11 @@
+// Package pitchfork is a from-scratch Go implementation of
+// "Constant-Time Foundations for the New Spectre Era" (Cauligi et al.,
+// PLDI 2020): the speculative out-of-order semantics, the speculative
+// constant-time (SCT) security property, and the Pitchfork detector,
+// together with every substrate the paper's evaluation relies on.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The root package holds only the repository-level benchmark
+// harness (bench_test.go); the implementation lives under internal/.
+package pitchfork

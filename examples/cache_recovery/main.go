@@ -1,0 +1,40 @@
+// Cache recovery: end-to-end demonstration that the semantics'
+// observation traces subsume cache side channels (§3.1) — run the
+// Figure 1 attack, feed its trace into a concrete set-associative
+// cache, and recover the secret byte with flush+reload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pitchfork/internal/attacks"
+	"pitchfork/internal/cachesim"
+	"pitchfork/internal/core"
+)
+
+func main() {
+	a := attacks.Figure1()
+	recs, err := a.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trace core.Trace
+	for _, r := range recs {
+		trace = append(trace, r.Obs...)
+	}
+	fmt.Printf("victim trace: %s\n\n", trace)
+
+	cache, err := cachesim.New(64, 4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fr := cachesim.FlushReload{Cache: cache, ProbeBase: 0x44, Stride: 1, Slots: 256}
+	hot := fr.Recover(trace)
+	fmt.Printf("hot probe slots: %v\n", hot)
+	for _, s := range hot {
+		if s > 0x20 { // discount the victim's known in-bounds access
+			fmt.Printf("recovered secret byte: %#x (planted Key[1] = 0xA1)\n", s)
+		}
+	}
+}

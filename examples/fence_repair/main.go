@@ -1,0 +1,64 @@
+// Fence repair: the countermeasure workflow the paper's conclusion
+// sketches — detect an SCT violation, apply the fence mitigation of
+// §3.6 at the flagged branch, and re-verify, measuring the cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/ct"
+	"pitchfork/internal/pitchfork"
+)
+
+const vulnerable = `
+public a1[4] = {1, 2, 3, 4};
+secret key[4] = {160, 161, 162, 163};
+public a2[64];
+public x = 5;
+public temp;
+fn main() {
+  if (x < 4) {
+    temp = a2[a1[x] * 2];
+  }
+}
+`
+
+const repaired = `
+public a1[4] = {1, 2, 3, 4};
+secret key[4] = {160, 161, 162, 163};
+public a2[64];
+public x = 5;
+public temp;
+fn main() {
+  if (x < 4) {
+    fence;
+    temp = a2[a1[x] * 2];
+  }
+}
+`
+
+func audit(name, src string) (clean bool, instrs int) {
+	comp, err := ct.Compile(src, ct.ModeC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := pitchfork.Analyze(core.New(comp.Prog), pitchfork.Options{
+		Bound: 20, ForwardHazards: true, StopAtFirst: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %-60s (%d instructions)\n", name, rep.Summary(), comp.Prog.Len())
+	return rep.SecretFree(), comp.Prog.Len()
+}
+
+func main() {
+	cleanBefore, nBefore := audit("vulnerable:", vulnerable)
+	cleanAfter, nAfter := audit("repaired:", repaired)
+	if cleanBefore || !cleanAfter {
+		log.Fatal("unexpected audit outcome")
+	}
+	fmt.Printf("\nfence mitigation verified; code-size cost: +%d instruction(s)\n", nAfter-nBefore)
+}

@@ -1,0 +1,20 @@
+// Spectre gallery: re-derive the directive/effect/leakage tables of
+// every worked figure in the paper (Figures 1, 2, 5, 6, 7, 8, 11, 13).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pitchfork/internal/attacks"
+)
+
+func main() {
+	for _, a := range attacks.Gallery() {
+		out, err := a.Render()
+		if err != nil {
+			log.Fatalf("%s: %v", a.ID, err)
+		}
+		fmt.Println(out)
+	}
+}

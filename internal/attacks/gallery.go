@@ -1,0 +1,353 @@
+// Package attacks reconstructs every worked figure of the paper as an
+// executable artifact: a program, an attacker schedule, and the
+// leakage the paper's tables show. The gallery drives the examples,
+// the specasm-style rendering, and the per-figure benchmarks.
+package attacks
+
+import (
+	"fmt"
+	"strings"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+)
+
+// Register names used across the figures.
+const (
+	RA = isa.Reg(0)
+	RB = isa.Reg(1)
+	RC = isa.Reg(2)
+	RD = isa.Reg(3)
+)
+
+// Attack is one figure: a machine factory, the attacker schedule of
+// the figure, and metadata.
+type Attack struct {
+	ID      string // e.g. "fig1"
+	Title   string
+	Variant string // Spectre variant or mechanism
+	// New builds the initial machine (program + registers).
+	New func() *core.Machine
+	// Schedule is the figure's directive sequence.
+	Schedule core.Schedule
+	// WantSecretLeak is whether the schedule leaks a secret.
+	WantSecretLeak bool
+}
+
+// Run executes the attack schedule on a fresh machine and returns the
+// per-step records.
+func (a Attack) Run() ([]core.StepRecord, error) {
+	m := a.New()
+	return m.RunRecorded(a.Schedule)
+}
+
+// Render produces the paper-style directive/leakage table.
+func (a Attack) Render() (string, error) {
+	recs, err := a.Run()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", a.ID, a.Title, a.Variant)
+	fmt.Fprintf(&b, "  %-24s %s\n", "Directive", "Leakage")
+	for _, r := range recs {
+		obs := make([]string, len(r.Obs))
+		for i, o := range r.Obs {
+			obs[i] = o.String()
+		}
+		fmt.Fprintf(&b, "  %-24s %s\n", r.Directive, strings.Join(obs, ", "))
+	}
+	return b.String(), nil
+}
+
+// Gallery returns all figures in paper order.
+func Gallery() []Attack {
+	return []Attack{
+		Figure1(), Figure2(), Figure4(), Figure5(), Figure6(), Figure7(),
+		Figure8(), Figure11(), Figure12(), Figure13(),
+	}
+}
+
+// Figure4 demonstrates correct and incorrect branch prediction (the
+// incorrect half; the correct half is exercised by the core tests).
+func Figure4() Attack {
+	return Attack{
+		ID: "fig4", Title: "branch misprediction rolls the buffer back", Variant: "rollback demo",
+		New: func() *core.Machine {
+			b := isa.NewBuilder(1)
+			b.Op(RD, isa.OpMov, isa.ImmW(0))
+			b.Op(RD, isa.OpMov, isa.ImmW(0))
+			b.Op(RB, isa.OpMov, isa.ImmW(4))
+			b.Br(isa.OpLt, []isa.Operand{isa.ImmW(2), isa.R(RA)}, 9, 12)
+			b.Skip(4)
+			b.Place(9, isa.Op(RC, isa.OpAdd, []isa.Operand{isa.ImmW(1), isa.R(RB)}, 10))
+			b.Place(12, isa.Op(RD, isa.OpMul, []isa.Operand{isa.R(6), isa.R(7)}, 13))
+			m := core.New(b.MustBuild())
+			m.Regs.Write(RA, mem.Pub(3))
+			return m
+		},
+		Schedule: core.Schedule{
+			core.Fetch(), core.Execute(1), core.Retire(),
+			core.Fetch(), core.Execute(2), core.Retire(),
+			core.Fetch(), core.Execute(3),
+			core.FetchGuess(false), // guess 12 — incorrect (2 < 3)
+			core.Fetch(),
+			core.Execute(4), // rollback, jump 9
+		},
+		WantSecretLeak: false,
+	}
+}
+
+// Figure12 is the ret2spec RSB-underflow attack of Appendix A: after
+// a matched call/ret pair, an unmatched ret's speculative target is
+// attacker-chosen.
+func Figure12() Attack {
+	return Attack{
+		ID: "fig12", Title: "RSB underflow hands the return target to the attacker", Variant: "ret2spec",
+		New: func() *core.Machine {
+			p := isa.NewProgram(1)
+			p.Add(1, isa.Call(3, 2))
+			p.Add(2, isa.Ret())
+			p.Add(3, isa.Ret())
+			p.Add(0x99, isa.Load(RD, []isa.Operand{isa.ImmW(0x48)}, 0x9A))
+			p.SetRegion(0x78, []mem.Value{mem.Pub(0), mem.Pub(0), mem.Pub(0), mem.Pub(0), mem.Pub(0)})
+			p.SetData(0x48, mem.Sec(0xC1))
+			m := core.New(p)
+			m.Regs.Write(mem.RSP, mem.Pub(0x7C))
+			return m
+		},
+		Schedule: core.Schedule{
+			core.Fetch(),           // call(3, 2): push 2
+			core.Fetch(),           // ret at 3: predicted to 2, pop
+			core.FetchTarget(0x99), // ret at 2: RSB empty — attacker steers
+			core.Fetch(),           // the gadget at the attacker's target
+			core.Execute(12),       // transient gadget: loads the secret
+		},
+		WantSecretLeak: false, // the planted gadget reads a secret *value*; its address stays public
+	}
+}
+
+// Figure1 is the Spectre v1 running example of §2.
+func Figure1() Attack {
+	return Attack{
+		ID: "fig1", Title: "bounds-check bypass leaks Key[1]", Variant: "Spectre v1",
+		New: func() *core.Machine {
+			b := isa.NewBuilder(1)
+			b.Br(isa.OpGt, []isa.Operand{isa.ImmW(4), isa.R(RA)}, 2, 4)
+			b.Load(RB, isa.ImmW(0x40), isa.R(RA))
+			b.Load(RC, isa.ImmW(0x44), isa.R(RB))
+			b.Region(0x40, mem.Pub(10), mem.Pub(11), mem.Pub(12), mem.Pub(13))
+			b.Region(0x44, mem.Pub(20), mem.Pub(21), mem.Pub(22), mem.Pub(23))
+			b.Region(0x48, mem.Sec(0xA0), mem.Sec(0xA1), mem.Sec(0xA2), mem.Sec(0xA3))
+			m := core.New(b.MustBuild())
+			m.Regs.Write(RA, mem.Pub(9))
+			return m
+		},
+		Schedule: core.Schedule{
+			core.FetchGuess(true), core.Fetch(), core.Fetch(),
+			core.Execute(2), core.Execute(3), core.Execute(1),
+		},
+		WantSecretLeak: true,
+	}
+}
+
+// Figure2 is the hypothetical aliasing-predictor attack of §3.5.
+func Figure2() Attack {
+	return Attack{
+		ID: "fig2", Title: "aliasing predictor forwards an unresolved store", Variant: "hypothetical (§3.5)",
+		New: func() *core.Machine {
+			b := isa.NewBuilder(1)
+			b.Op(RD, isa.OpMov, isa.ImmW(0))
+			b.Store(isa.R(RB), isa.R(RA), isa.ImmW(0x40))
+			for i := 0; i < 4; i++ {
+				b.Op(RD, isa.OpMov, isa.ImmW(0))
+			}
+			b.Load(RC, isa.ImmW(0x45))
+			b.Load(RC, isa.ImmW(0x48), isa.R(RC))
+			b.Region(0x40, mem.Sec(1), mem.Sec(2), mem.Sec(3), mem.Sec(4))
+			b.Region(0x44, mem.Pub(5), mem.Pub(6), mem.Pub(7), mem.Pub(8))
+			b.Region(0x48, mem.Pub(9), mem.Pub(10), mem.Pub(11), mem.Pub(12))
+			m := core.New(b.MustBuild())
+			m.Regs.Write(RA, mem.Pub(2))
+			m.Regs.Write(RB, mem.Sec(0x33))
+			return m
+		},
+		Schedule: core.Schedule{
+			core.Fetch(), core.Execute(1), core.Retire(),
+			core.Fetch(), core.Fetch(), core.Fetch(), core.Fetch(), core.Fetch(), core.Fetch(), core.Fetch(),
+			core.ExecuteValue(2),
+			core.ExecuteFwd(7, 2),
+			core.Execute(8),
+			core.ExecuteAddr(2),
+			core.Execute(7),
+		},
+		WantSecretLeak: true,
+	}
+}
+
+// Figure5 is the store-hazard rollback example of §3.4.
+func Figure5() Attack {
+	return Attack{
+		ID: "fig5", Title: "late store address causes forwarding hazard", Variant: "store hazard",
+		New: func() *core.Machine {
+			b := isa.NewBuilder(1)
+			b.Op(RD, isa.OpMov, isa.ImmW(0))
+			b.Store(isa.ImmW(12), isa.ImmW(0x43))
+			b.Store(isa.ImmW(20), isa.ImmW(3), isa.R(RA))
+			b.Load(RC, isa.ImmW(0x43))
+			m := core.New(b.MustBuild())
+			m.Regs.Write(RA, mem.Pub(0x40))
+			return m
+		},
+		Schedule: core.Schedule{
+			core.Fetch(), core.Execute(1), core.Retire(),
+			core.Fetch(), core.ExecuteAddr(2), core.Fetch(), core.Fetch(),
+			core.Execute(4),
+			core.ExecuteAddr(3),
+		},
+		WantSecretLeak: false,
+	}
+}
+
+// Figure6 is the Spectre v1.1 store-to-load forwarding attack.
+func Figure6() Attack {
+	return Attack{
+		ID: "fig6", Title: "speculative store forwards a secret", Variant: "Spectre v1.1",
+		New: func() *core.Machine {
+			b := isa.NewBuilder(1)
+			b.Br(isa.OpGt, []isa.Operand{isa.ImmW(4), isa.R(RA)}, 2, 9)
+			b.Store(isa.R(RB), isa.ImmW(0x40), isa.R(RA))
+			for i := 0; i < 4; i++ {
+				b.Op(RD, isa.OpMov, isa.ImmW(0))
+			}
+			b.Load(RC, isa.ImmW(0x45))
+			b.Load(RC, isa.ImmW(0x48), isa.R(RC))
+			b.Region(0x40, mem.Sec(1), mem.Sec(2), mem.Sec(3), mem.Sec(4))
+			b.Region(0x44, mem.Pub(5), mem.Pub(6), mem.Pub(7), mem.Pub(8))
+			b.Region(0x48, mem.Pub(9), mem.Pub(10), mem.Pub(11), mem.Pub(12))
+			m := core.New(b.MustBuild())
+			m.Regs.Write(RA, mem.Pub(5))
+			m.Regs.Write(RB, mem.Sec(0x21))
+			return m
+		},
+		Schedule: core.Schedule{
+			core.FetchGuess(true),
+			core.Fetch(), core.Fetch(), core.Fetch(), core.Fetch(), core.Fetch(), core.Fetch(), core.Fetch(),
+			core.ExecuteAddr(2), core.ExecuteValue(2),
+			core.Execute(7), core.Execute(8),
+		},
+		WantSecretLeak: true,
+	}
+}
+
+// Figure7 is the Spectre v4 stale-load attack.
+func Figure7() Attack {
+	return Attack{
+		ID: "fig7", Title: "store address resolves too late; stale secret loads", Variant: "Spectre v4",
+		New: func() *core.Machine {
+			b := isa.NewBuilder(1)
+			b.Op(RD, isa.OpMov, isa.ImmW(0))
+			b.Store(isa.ImmW(0), isa.ImmW(3), isa.R(RA))
+			b.Load(RC, isa.ImmW(0x43))
+			b.Load(RC, isa.ImmW(0x44), isa.R(RC))
+			b.Region(0x40, mem.Sec(1), mem.Sec(2), mem.Sec(3), mem.Sec(0x5A))
+			b.Region(0x44, mem.Pub(5), mem.Pub(6), mem.Pub(7), mem.Pub(8))
+			m := core.New(b.MustBuild())
+			m.Regs.Write(RA, mem.Pub(0x40))
+			return m
+		},
+		Schedule: core.Schedule{
+			core.Fetch(), core.Execute(1), core.Retire(),
+			core.Fetch(), core.Fetch(), core.Fetch(),
+			core.Execute(3), core.Execute(4),
+			core.ExecuteAddr(2),
+		},
+		WantSecretLeak: true,
+	}
+}
+
+// Figure8 is the fence mitigation for Figure 1.
+func Figure8() Attack {
+	return Attack{
+		ID: "fig8", Title: "fence blocks the v1 loads until the branch resolves", Variant: "mitigation",
+		New: func() *core.Machine {
+			b := isa.NewBuilder(1)
+			b.Br(isa.OpGt, []isa.Operand{isa.ImmW(4), isa.R(RA)}, 2, 5)
+			b.Fence()
+			b.Load(RB, isa.ImmW(0x40), isa.R(RA))
+			b.Load(RC, isa.ImmW(0x44), isa.R(RB))
+			b.Region(0x40, mem.Pub(10), mem.Pub(11), mem.Pub(12), mem.Pub(13))
+			b.Region(0x48, mem.Sec(0xA0), mem.Sec(0xA1), mem.Sec(0xA2), mem.Sec(0xA3))
+			m := core.New(b.MustBuild())
+			m.Regs.Write(RA, mem.Pub(9))
+			return m
+		},
+		Schedule: core.Schedule{
+			core.FetchGuess(true), core.Fetch(), core.Fetch(), core.Fetch(),
+			core.Execute(1), // loads cannot run: the fence guards them
+		},
+		WantSecretLeak: false,
+	}
+}
+
+// Figure11 is the Spectre v2 indirect-jump attack of Appendix A.
+func Figure11() Attack {
+	return Attack{
+		ID: "fig11", Title: "mistrained indirect branch lands past the fence", Variant: "Spectre v2",
+		New: func() *core.Machine {
+			b := isa.NewBuilder(1)
+			b.Load(RC, isa.ImmW(0x48), isa.R(RA))
+			b.Fence()
+			b.Jmpi(isa.ImmW(12), isa.R(RB))
+			b.Skip(12)
+			b.Place(16, isa.Fence(17))
+			b.Place(17, isa.Load(RD, []isa.Operand{isa.ImmW(0x44), isa.R(RC)}, 18))
+			b.Region(0x44, mem.Pub(5), mem.Pub(6), mem.Pub(7), mem.Pub(8))
+			b.Region(0x48, mem.Sec(0xB0), mem.Sec(0xB1), mem.Sec(0xB2), mem.Sec(0xB3))
+			m := core.New(b.MustBuild())
+			m.Regs.Write(RA, mem.Pub(1))
+			m.Regs.Write(RB, mem.Pub(8))
+			return m
+		},
+		Schedule: core.Schedule{
+			core.Fetch(), core.Fetch(), core.Execute(1),
+			core.FetchTarget(17), core.Fetch(),
+			core.Retire(), core.Retire(),
+			core.Execute(4), core.Execute(3),
+		},
+		WantSecretLeak: true,
+	}
+}
+
+// Figure13 is the retpoline construction defeating Spectre v2.
+func Figure13() Attack {
+	return Attack{
+		ID: "fig13", Title: "retpoline: speculation parks on a fence self-loop", Variant: "mitigation",
+		New: func() *core.Machine {
+			b := isa.NewBuilder(1)
+			b.Op(RD, isa.OpMov, isa.ImmW(0))
+			b.Op(RD, isa.OpMov, isa.ImmW(0))
+			b.Call(5)
+			b.Place(4, isa.Fence(4))
+			b.Skip(1)
+			b.Op(RD, isa.OpAdd, isa.ImmW(12), isa.R(RB))
+			b.Store(isa.R(RD), isa.R(mem.RSP))
+			b.Ret()
+			b.Region(0x78, mem.Pub(0), mem.Pub(0), mem.Pub(0), mem.Pub(0), mem.Pub(0))
+			m := core.New(b.MustBuild())
+			m.Regs.Write(RB, mem.Pub(8))
+			m.Regs.Write(mem.RSP, mem.Pub(0x7C))
+			return m
+		},
+		Schedule: core.Schedule{
+			core.Fetch(), core.Execute(1), core.Retire(),
+			core.Fetch(), core.Execute(2), core.Retire(),
+			core.Fetch(), core.Fetch(), core.Fetch(), core.Fetch(), core.Fetch(),
+			core.Execute(4), core.Execute(6),
+			core.ExecuteValue(7), core.ExecuteAddr(7),
+			core.Execute(9), core.Execute(10), core.Execute(11),
+		},
+		WantSecretLeak: false,
+	}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+)
+
+// Buffer is the reorder buffer buf : N ⇀ TransInstr. Its domain is
+// always a contiguous range of indices [Min, Max] (the paper's rules
+// "add and remove indices in a way that ensures that buf's domain will
+// always be contiguous"), so it is represented as a slice plus a base.
+// Indices grow monotonically across the run; the first fetched
+// instruction lands at index 1, matching MAX(∅) = 0.
+type Buffer struct {
+	base  int // index of items[0]; Min when non-empty
+	items []*Transient
+}
+
+// NewBuffer returns an empty reorder buffer whose first insertion gets
+// index 1.
+func NewBuffer() *Buffer { return &Buffer{base: 1} }
+
+// Len returns the number of buffered transient instructions.
+func (b *Buffer) Len() int { return len(b.items) }
+
+// Empty reports whether the buffer holds no instructions.
+func (b *Buffer) Empty() bool { return len(b.items) == 0 }
+
+// Min returns MIN(buf). For an empty buffer it returns the next index
+// to be allocated; on the initial buffer that is 1, consistent with
+// the paper's MIN(∅) = 0 + the first fetch landing at MAX(∅)+1 = 1.
+// Keeping the base (rather than resetting to 0) preserves the
+// invariant that Append always inserts at Max()+1 even after the
+// buffer drains mid-run.
+func (b *Buffer) Min() int { return b.base }
+
+// Max returns MAX(buf); for an empty buffer it returns base-1 so that
+// Max()+1 is always the next insertion index (0 on the initial empty
+// buffer, matching MAX(∅) = 0).
+func (b *Buffer) Max() int {
+	if len(b.items) == 0 {
+		return b.base - 1
+	}
+	return b.base + len(b.items) - 1
+}
+
+// Contains reports whether index i is in the buffer's domain.
+func (b *Buffer) Contains(i int) bool {
+	return i >= b.base && i < b.base+len(b.items)
+}
+
+// Get returns buf(i).
+func (b *Buffer) Get(i int) (*Transient, bool) {
+	if !b.Contains(i) {
+		return nil, false
+	}
+	return b.items[i-b.base], true
+}
+
+// Append inserts at MAX(buf)+1 and returns the new index.
+func (b *Buffer) Append(t *Transient) int {
+	b.items = append(b.items, t)
+	return b.base + len(b.items) - 1
+}
+
+// Set replaces buf(i); it panics if i is outside the domain, since the
+// step rules only rewrite live entries.
+func (b *Buffer) Set(i int, t *Transient) {
+	if !b.Contains(i) {
+		panic(fmt.Sprintf("core: Buffer.Set(%d) outside [%d,%d]", i, b.Min(), b.Max()))
+	}
+	b.items[i-b.base] = t
+}
+
+// TruncateFrom implements buf[j : j < i]: it removes every entry at
+// index ≥ i.
+func (b *Buffer) TruncateFrom(i int) {
+	if i <= b.base {
+		b.items = b.items[:0]
+		return
+	}
+	if i > b.base+len(b.items) {
+		return
+	}
+	b.items = b.items[:i-b.base]
+}
+
+// PopMin removes and returns buf(MIN(buf)).
+func (b *Buffer) PopMin() (*Transient, bool) {
+	if len(b.items) == 0 {
+		return nil, false
+	}
+	t := b.items[0]
+	b.items = b.items[1:]
+	b.base++
+	return t, true
+}
+
+// PopMinN removes the k lowest-indexed entries; used by call-retire and
+// ret-retire, which retire their whole expansion at once.
+func (b *Buffer) PopMinN(k int) {
+	if k > len(b.items) {
+		panic("core: PopMinN beyond buffer")
+	}
+	b.items = b.items[k:]
+	b.base += k
+}
+
+// FenceBefore reports whether any index j < i holds a fence — the
+// highlighted side condition ∀j < i : buf(j) ≠ fence on every execute
+// rule.
+func (b *Buffer) FenceBefore(i int) bool {
+	for j := b.Min(); j < i && j <= b.Max(); j++ {
+		if t, ok := b.Get(j); ok && t.Kind == TFence {
+			return true
+		}
+	}
+	return false
+}
+
+// Indices returns the live indices in increasing order.
+func (b *Buffer) Indices() []int {
+	out := make([]int, len(b.items))
+	for i := range b.items {
+		out[i] = b.base + i
+	}
+	return out
+}
+
+// Clone returns a deep copy (transients are copied, operand slices
+// shared — operands are immutable after construction).
+func (b *Buffer) Clone() *Buffer {
+	c := &Buffer{base: b.base, items: make([]*Transient, len(b.items))}
+	for i, t := range b.items {
+		cp := *t
+		c.items[i] = &cp
+	}
+	return c
+}
+
+// String renders the buffer one entry per line, figure-style.
+func (b *Buffer) String() string {
+	if b.Empty() {
+		return "∅"
+	}
+	var sb strings.Builder
+	for j := b.Min(); j <= b.Max(); j++ {
+		t, _ := b.Get(j)
+		fmt.Fprintf(&sb, "%d ↦ %s\n", j, t)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// ResolveReg implements the register resolve function (buf +i ρ)(r) of
+// Fig. 3, extended per §3.5 to read through partially resolved loads:
+//
+//   - the latest assignment to r at an index j < i that is resolved
+//     yields its value;
+//   - a latest assignment that is unresolved yields ⊥ (ok == false);
+//   - no assignment at all defers to ρ(r).
+func (b *Buffer) ResolveReg(i int, regs *mem.RegisterFile, r isa.Reg) (mem.Value, bool) {
+	hi := b.Max()
+	if i-1 < hi {
+		hi = i - 1
+	}
+	for j := hi; j >= b.Min() && j >= 1; j-- {
+		t, ok := b.Get(j)
+		if !ok || !t.AssignsReg(r) {
+			continue
+		}
+		switch t.Kind {
+		case TValue:
+			return t.Val, true
+		case TLoad:
+			if t.PredFwd {
+				return t.PredVal, true // §3.5 extension
+			}
+			return mem.Value{}, false // pending assignment: ⊥
+		case TOp:
+			return mem.Value{}, false // pending assignment: ⊥
+		}
+	}
+	return regs.Read(r), true
+}
+
+// ResolveOperand lifts ResolveReg to a register-or-value operand:
+// (buf +i ρ)(vℓ) = vℓ for immediates.
+func (b *Buffer) ResolveOperand(i int, regs *mem.RegisterFile, o isa.Operand) (mem.Value, bool) {
+	if !o.IsReg {
+		return o.Imm, true
+	}
+	return b.ResolveReg(i, regs, o.Reg)
+}
+
+// ResolveOperands is the pointwise lifting to operand lists; it fails
+// if any operand is ⊥.
+func (b *Buffer) ResolveOperands(i int, regs *mem.RegisterFile, os []isa.Operand) ([]mem.Value, bool) {
+	out := make([]mem.Value, len(os))
+	for k, o := range os {
+		v, ok := b.ResolveOperand(i, regs, o)
+		if !ok {
+			return nil, false
+		}
+		out[k] = v
+	}
+	return out, true
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+)
+
+// callProgram generates a program with a random call structure: main
+// calls up to three leaf functions (no recursion), each doing a few
+// register/memory operations, with an occasional conditional branch
+// skipping a call. This targets the Appendix A rules — call/ret
+// expansion, RSB prediction, return-address stores — under the
+// adversarial random scheduler.
+func callProgram(rng *rand.Rand) *isa.Program {
+	p := isa.NewProgram(1)
+	const dataBase = 0x200
+	// Leaf functions at 100, 200, 300: two ops + optional store + ret.
+	leaves := []isa.Addr{100, 200, 300}
+	for li, entry := range leaves {
+		pt := entry
+		reg := isa.Reg(4 + li)
+		p.Add(pt, isa.Op(reg, isa.OpAdd, []isa.Operand{isa.R(reg), isa.ImmW(mem.Word(li + 1))}, pt+1))
+		pt++
+		if rng.Intn(2) == 0 {
+			p.Add(pt, isa.Store(isa.R(reg), []isa.Operand{isa.ImmW(dataBase + mem.Word(li))}, pt+1))
+			pt++
+		}
+		if rng.Intn(2) == 0 {
+			p.Add(pt, isa.Load(reg, []isa.Operand{isa.ImmW(dataBase + mem.Word(rng.Intn(3)))}, pt+1))
+			pt++
+		}
+		p.Add(pt, isa.Ret())
+	}
+	// Main: sequence of calls with interleaved ops and a forward
+	// branch that may skip one call.
+	pt := isa.Addr(1)
+	p.Add(pt, isa.Op(ra, isa.OpMov, []isa.Operand{isa.ImmW(mem.Word(rng.Intn(8)))}, pt+1))
+	pt++
+	nCalls := 1 + rng.Intn(3)
+	for c := 0; c < nCalls; c++ {
+		callee := leaves[rng.Intn(len(leaves))]
+		if rng.Intn(3) == 0 {
+			// Branch over the call: br(lt, [ra, k], skip, call).
+			p.Add(pt, isa.Br(isa.OpLt, []isa.Operand{isa.R(ra), isa.ImmW(mem.Word(rng.Intn(8)))}, pt+2, pt+1))
+			pt++
+		}
+		p.Add(pt, isa.Call(callee, pt+1))
+		pt++
+		p.Add(pt, isa.Op(rb, isa.OpXor, []isa.Operand{isa.R(rb), isa.R(isa.Reg(4 + rng.Intn(3)))}, pt+1))
+		pt++
+	}
+	for i := 0; i < 4; i++ {
+		l := mem.Public
+		if rng.Intn(3) == 0 {
+			l = mem.Secret
+		}
+		p.SetData(dataBase+isa.Addr(i), mem.V(mem.Word(rng.Intn(100)), l))
+	}
+	p.SetRegion(0x3F0, make([]mem.Value, 16)) // call stack
+	return p
+}
+
+// TestSequentialEquivalenceWithCalls is Theorem 3.2/B.7 restricted to
+// call/ret-heavy programs: out-of-order executions under adversarial
+// random schedules — including speculative returns, RSB rollbacks,
+// and return-address forwarding — commit the same state as the
+// canonical sequential execution.
+func TestSequentialEquivalenceWithCalls(t *testing.T) {
+	for trial := 0; trial < 300; trial++ {
+		rng := newRng(int64(9000 + trial))
+		prog := callProgram(rng)
+		m := New(prog)
+		m.Regs.Write(mem.RSP, mem.Pub(0x3FF))
+		init := m.Clone()
+
+		randomSchedule(m, rng, 600)
+		n := m.Retired
+
+		seqM := init.Clone()
+		if _, _, err := RunSequential(seqM, n); err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		if !m.ApproxEqual(seqM) {
+			t.Fatalf("trial %d: call-structured OoO (N=%d) diverges from sequential", trial, n)
+		}
+	}
+}
+
+// TestLabelStabilityWithCalls is Theorem B.9 over the same family.
+func TestLabelStabilityWithCalls(t *testing.T) {
+	checked := 0
+	for trial := 0; trial < 300 && checked < 80; trial++ {
+		rng := newRng(int64(10000 + trial))
+		prog := callProgram(rng)
+		mk := func() *Machine {
+			m := New(prog)
+			m.Regs.Write(mem.RSP, mem.Pub(0x3FF))
+			return m
+		}
+		spec := mk()
+		sched := randomSchedule(spec, rng, 600)
+		replay := mk()
+		trace, err := replay.Run(sched)
+		if err != nil {
+			t.Fatalf("trial %d: replay: %v", trial, err)
+		}
+		if trace.HasSecret() {
+			continue
+		}
+		checked++
+		seqM := mk()
+		_, seqTrace, err := RunSequential(seqM, 10000)
+		if err != nil {
+			t.Fatalf("trial %d: sequential: %v", trial, err)
+		}
+		if seqTrace.HasSecret() {
+			t.Fatalf("trial %d: label stability violated: %s", trial, seqTrace)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("too few qualifying executions: %d", checked)
+	}
+}

@@ -1,0 +1,408 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+)
+
+// TestFigure1SpectreV1 replays Figure 1: the bounds check is
+// speculatively ignored and a byte of the secret Key leaks through the
+// address of the second load.
+func TestFigure1SpectreV1(t *testing.T) {
+	m := New(fig1Program())
+	m.Regs.Write(ra, mem.Pub(9)) // out of bounds: 4 > 9 is false
+
+	// fetch: true — speculatively follow the "in bounds" arm.
+	obs := mustStep(t, m, FetchGuess(true))
+	if len(obs) != 0 {
+		t.Fatalf("fetch leaked %v", obs)
+	}
+	wantBufEntry(t, m, 1, "br(gt, [4, ra], 2, (2, 4))")
+
+	mustStep(t, m, Fetch())
+	mustStep(t, m, Fetch())
+	wantBufEntry(t, m, 2, "(rb = load([64, ra]))")
+	wantBufEntry(t, m, 3, "(rc = load([68, rb]))")
+
+	// execute 2: reads Key[1] at 0x40+9 = 0x49; the address is public.
+	obs = mustStep(t, m, Execute(2))
+	wantTrace(t, obs, ReadObs(0x49, mem.Public))
+	ld, _ := m.Buf.Get(2)
+	if ld.Kind != TValue || ld.Val != mem.Sec(0xA1) {
+		t.Fatalf("buf(2) = %s, want resolved Key[1]", ld)
+	}
+
+	// execute 3: the secret now taints the address — the leak.
+	obs = mustStep(t, m, Execute(3))
+	wantTrace(t, obs, ReadObs(0x44+0xA1, mem.Secret))
+
+	// The branch eventually resolves and rolls the misprediction back,
+	// but the secret has already escaped.
+	obs = mustStep(t, m, Execute(1))
+	wantTrace(t, obs, RollbackObs(), JumpObs(4, mem.Public))
+	wantNoBufEntry(t, m, 2)
+	wantBufEntry(t, m, 1, "jump 4")
+	if m.PC != 4 {
+		t.Fatalf("PC = %d, want 4", m.PC)
+	}
+}
+
+// TestFigure1SequentiallyConstantTime confirms the same program is
+// constant-time under its canonical sequential schedule: the paper's
+// point is precisely that sequential CT is not enough.
+func TestFigure1SequentiallyConstantTime(t *testing.T) {
+	m := New(fig1Program())
+	m.Regs.Write(ra, mem.Pub(9))
+	_, trace, err := RunSequential(m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.HasSecret() {
+		t.Fatalf("sequential trace leaks: %s", trace)
+	}
+}
+
+// TestFigure1SCTViolation checks the Def. 3.1 formulation directly:
+// two configurations differing only in the secret Key produce
+// different observation traces under the attack schedule.
+func TestFigure1SCTViolation(t *testing.T) {
+	m := New(fig1Program())
+	m.Regs.Write(ra, mem.Pub(9))
+	attack := Schedule{FetchGuess(true), Fetch(), Fetch(), Execute(2), Execute(3)}
+
+	res := CheckSCT(m, attack, 32, newRng(1))
+	if res == nil {
+		t.Fatal("attack schedule must violate SCT")
+	}
+	if len(res.TraceA) == 0 || len(res.TraceB) == 0 {
+		t.Fatalf("expected non-empty diverging traces, got %q vs %q", res.TraceA, res.TraceB)
+	}
+
+	// And under the sequential schedule there is no violation.
+	seq, _, err := RunSequential(m.Clone(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := CheckSCT(m, seq, 32, newRng(2)); res != nil {
+		t.Fatalf("sequential schedule must satisfy SCT: %s", res.Reason)
+	}
+}
+
+// fig2Program reconstructs Figure 2 (hypothetical aliasing-predictor
+// attack). Buffer indices match the figure: the store lands at index 2
+// and the two loads at 7 and 8.
+func fig2Program() *isa.Program {
+	b := isa.NewBuilder(1)
+	nops(b, 1)                                                     // point 1 → buffer index 1 (drained)
+	b.Store(isa.R(rb), isa.R(ra), isa.ImmW(0x40))                  // 2: store(rb, [40, ra])
+	nops(b, 4)                                                     // 3..6
+	b.Load(rc, isa.ImmW(0x45))                                     // 7: (rc = load([45]))
+	b.Load(rc, isa.ImmW(0x48), isa.R(rc))                          // 8: (rc = load([48, rc]))
+	b.Region(0x40, mem.Sec(1), mem.Sec(2), mem.Sec(3), mem.Sec(4)) // secretKey
+	b.Region(0x44, mem.Pub(5), mem.Pub(6), mem.Pub(7), mem.Pub(8)) // pubArrA
+	b.Region(0x48, mem.Pub(9), mem.Pub(10), mem.Pub(11), mem.Pub(12))
+	return b.MustBuild()
+}
+
+// TestFigure2AliasingPredictor replays the §3.5 attack: a load is
+// speculatively forwarded a value from a store whose address is not
+// yet known; the forwarded secret taints a second load's address.
+func TestFigure2AliasingPredictor(t *testing.T) {
+	const x = 0x33 // the secret in rb
+	m := New(fig2Program())
+	m.Regs.Write(ra, mem.Pub(2))
+	m.Regs.Write(rb, mem.Sec(x))
+
+	drain(t, m, 1)
+	for k := 0; k < 7; k++ { // fetch indices 2..8
+		mustStep(t, m, Fetch())
+	}
+
+	// execute 2 : value — the store's data resolves to the secret.
+	mustStep(t, m, ExecuteValue(2))
+	wantBufEntry(t, m, 2, "store(51sec, [ra, 64])")
+
+	// execute 7 : fwd 2 — the aliasing predictor forwards it to the
+	// load at 7 although neither address is known.
+	obs := mustStep(t, m, ExecuteFwd(7, 2))
+	if len(obs) != 0 {
+		t.Fatalf("prediction itself must be silent, got %v", obs)
+	}
+	wantBufEntry(t, m, 7, "(rc = load([69], (51sec, 2)))")
+
+	// execute 8 — the forwarded secret taints the next load's address.
+	obs = mustStep(t, m, Execute(8))
+	wantTrace(t, obs, ReadObs(0x48+x, mem.Secret))
+
+	// execute 2 : addr — the store resolves to 0x42; no hazard yet
+	// (the load at 7 is still only partially resolved).
+	obs = mustStep(t, m, ExecuteAddr(2))
+	wantTrace(t, obs, FwdObs(0x42, mem.Public))
+
+	// execute 7 — the misprediction surfaces: store went to 0x42, the
+	// load reads 0x45. Everything from 7 on rolls back.
+	obs = mustStep(t, m, Execute(7))
+	wantTrace(t, obs, RollbackObs(), FwdObs(0x45, mem.Public))
+	wantNoBufEntry(t, m, 7)
+	wantNoBufEntry(t, m, 8)
+	if m.PC != 7 {
+		t.Fatalf("PC = %d, want restart at the load's program point 7", m.PC)
+	}
+}
+
+// TestFigure4BranchPrediction replays both halves of Figure 4.
+func TestFigure4BranchPrediction(t *testing.T) {
+	build := func() *isa.Builder {
+		b := isa.NewBuilder(1)
+		nops(b, 2) // consume buffer indices 1, 2
+		b.Op(rb, isa.OpMov, isa.ImmW(4))
+		b.Br(isa.OpLt, []isa.Operand{isa.ImmW(2), isa.R(ra)}, 9, 12)
+		b.Skip(4) // 5..8 unused
+		b.Place(9, isa.Op(rc, isa.OpAdd, []isa.Operand{isa.ImmW(1), isa.R(rb)}, 10))
+		b.Place(12, isa.Op(rd, isa.OpMul, []isa.Operand{isa.R(rg), isa.R(rh)}, 13))
+		return b
+	}
+
+	t.Run("predicted correctly", func(t *testing.T) {
+		m := New(build().MustBuild())
+		m.Regs.Write(ra, mem.Pub(3))
+		drain(t, m, 2)
+		mustStep(t, m, Fetch())          // 3: rb = 4
+		mustStep(t, m, Execute(3))       // resolve it, as in the figure
+		mustStep(t, m, FetchGuess(true)) // 4: guess 9 (correct: 2 < 3)
+		mustStep(t, m, Fetch())          // 5: rc = op(+, (1, rb)) from point 9
+		wantBufEntry(t, m, 3, "(rb = 4pub)")
+		wantBufEntry(t, m, 4, "br(lt, [2, ra], 9, (9, 12))")
+		wantBufEntry(t, m, 5, "(rc = op(add, [1, rb]))")
+
+		obs := mustStep(t, m, Execute(4))
+		wantTrace(t, obs, JumpObs(9, mem.Public))
+		wantBufEntry(t, m, 4, "jump 9")
+		wantBufEntry(t, m, 5, "(rc = op(add, [1, rb]))") // survives
+	})
+
+	t.Run("predicted incorrectly", func(t *testing.T) {
+		m := New(build().MustBuild())
+		m.Regs.Write(ra, mem.Pub(3))
+		drain(t, m, 2)
+		mustStep(t, m, Fetch())
+		mustStep(t, m, Execute(3))
+		mustStep(t, m, FetchGuess(false)) // 4: guess 12 (incorrect)
+		mustStep(t, m, Fetch())           // 5: rd = op(*, (rg, rh)) from point 12
+		wantBufEntry(t, m, 5, "(rd = op(mul, [rg, rh]))")
+
+		obs := mustStep(t, m, Execute(4))
+		wantTrace(t, obs, RollbackObs(), JumpObs(9, mem.Public))
+		wantBufEntry(t, m, 4, "jump 9")
+		wantNoBufEntry(t, m, 5)
+		if m.PC != 9 {
+			t.Fatalf("PC = %d, want 9", m.PC)
+		}
+	})
+}
+
+// fig5Program reconstructs Figure 5: two stores, the second with a
+// late-resolving address, and a load that forwards from the wrong one.
+func fig5Program() *isa.Program {
+	b := isa.NewBuilder(1)
+	nops(b, 1)
+	b.Store(isa.ImmW(12), isa.ImmW(0x43))         // 2: store(12, [43])
+	b.Store(isa.ImmW(20), isa.ImmW(3), isa.R(ra)) // 3: store(20, [3, ra])
+	b.Load(rc, isa.ImmW(0x43))                    // 4: (rc = load([43]))
+	return b.MustBuild()
+}
+
+// TestFigure5StoreHazard replays Figure 5's store-address hazard.
+func TestFigure5StoreHazard(t *testing.T) {
+	m := New(fig5Program())
+	m.Regs.Write(ra, mem.Pub(0x40))
+	drain(t, m, 1)
+	mustStep(t, m, Fetch()) // 2 (value pre-resolved: immediate 12)
+	obs := mustStep(t, m, ExecuteAddr(2))
+	wantTrace(t, obs, FwdObs(0x43, mem.Public))
+	mustStep(t, m, Fetch()) // 3 (value pre-resolved: immediate 20)
+	mustStep(t, m, Fetch()) // 4
+	wantBufEntry(t, m, 2, "store(12pub, 67pub)")
+	wantBufEntry(t, m, 3, "store(20pub, [3, ra])")
+	wantBufEntry(t, m, 4, "(rc = load([67]))")
+
+	// execute 4: forwards 12 from the (stale) store at 2.
+	obs = mustStep(t, m, Execute(4))
+	wantTrace(t, obs, FwdObs(0x43, mem.Public))
+	wantBufEntry(t, m, 4, "(rc = 12pub{2, 0x43})")
+
+	// execute 3 : addr resolves to the same address — hazard: the load
+	// at 4 forwarded from an older store. Roll back to the load.
+	obs = mustStep(t, m, ExecuteAddr(3))
+	wantTrace(t, obs, RollbackObs(), FwdObs(0x43, mem.Public))
+	wantNoBufEntry(t, m, 4)
+	wantBufEntry(t, m, 3, "store(20pub, 67pub)")
+	if m.PC != 4 {
+		t.Fatalf("PC = %d, want the load's program point 4", m.PC)
+	}
+
+	// Re-executing the load now forwards from the correct store. The
+	// re-fetched load reoccupies index 4 (the domain stays contiguous).
+	mustStep(t, m, Fetch())
+	obs = mustStep(t, m, Execute(4))
+	wantTrace(t, obs, FwdObs(0x43, mem.Public))
+	wantBufEntry(t, m, 4, "(rc = 20pub{3, 0x43})")
+}
+
+// fig6Program reconstructs Figure 6 (Spectre v1.1): a speculative
+// out-of-bounds store forwards a secret to a benign load.
+func fig6Program() *isa.Program {
+	b := isa.NewBuilder(1)
+	b.Br(isa.OpGt, []isa.Operand{isa.ImmW(4), isa.R(ra)}, 2, 9) // 1
+	b.Store(isa.R(rb), isa.ImmW(0x40), isa.R(ra))               // 2: store(rb, [40, ra])
+	nops(b, 4)                                                  // 3..6
+	b.Load(rc, isa.ImmW(0x45))                                  // 7
+	b.Load(rc, isa.ImmW(0x48), isa.R(rc))                       // 8
+	b.Region(0x40, mem.Sec(1), mem.Sec(2), mem.Sec(3), mem.Sec(4))
+	b.Region(0x44, mem.Pub(5), mem.Pub(6), mem.Pub(7), mem.Pub(8))
+	b.Region(0x48, mem.Pub(9), mem.Pub(10), mem.Pub(11), mem.Pub(12))
+	return b.MustBuild()
+}
+
+// TestFigure6SpectreV11 replays Figure 6.
+func TestFigure6SpectreV11(t *testing.T) {
+	const x = 0x21
+	m := New(fig6Program())
+	m.Regs.Write(ra, mem.Pub(5)) // out of bounds: 4 > 5 is false
+	m.Regs.Write(rb, mem.Sec(x))
+
+	mustStep(t, m, FetchGuess(true)) // mispredict the bounds check
+	for k := 0; k < 7; k++ {
+		mustStep(t, m, Fetch()) // 2..8
+	}
+	wantBufEntry(t, m, 1, "br(gt, [4, ra], 2, (2, 9))")
+	wantBufEntry(t, m, 2, "store(rb, [64, ra])")
+
+	obs := mustStep(t, m, ExecuteAddr(2))
+	wantTrace(t, obs, FwdObs(0x45, mem.Public)) // 0x40+5: inside pubArrA
+	mustStep(t, m, ExecuteValue(2))
+	wantBufEntry(t, m, 2, "store(33sec, 69pub)")
+
+	// execute 7: the benign load aliases with the speculative store
+	// and receives the secret.
+	obs = mustStep(t, m, Execute(7))
+	wantTrace(t, obs, FwdObs(0x45, mem.Public))
+	wantBufEntry(t, m, 7, "(rc = 33sec{2, 0x45})")
+
+	// execute 8: secret-tainted address — the leak.
+	obs = mustStep(t, m, Execute(8))
+	wantTrace(t, obs, ReadObs(0x48+x, mem.Secret))
+}
+
+// fig7Program reconstructs Figure 7 (Spectre v4): the store's address
+// resolves too late and the load reads the stale secret underneath.
+func fig7Program() *isa.Program {
+	b := isa.NewBuilder(1)
+	nops(b, 1)
+	b.Store(isa.ImmW(0), isa.ImmW(3), isa.R(ra)) // 2: store(0, [3, ra])
+	b.Load(rc, isa.ImmW(0x43))                   // 3: (rc = load([43]))
+	b.Load(rc, isa.ImmW(0x44), isa.R(rc))        // 4: (rc = load([44, rc]))
+	b.Region(0x40, mem.Sec(1), mem.Sec(2), mem.Sec(3), mem.Sec(0x5A))
+	b.Region(0x44, mem.Pub(5), mem.Pub(6), mem.Pub(7), mem.Pub(8))
+	return b.MustBuild()
+}
+
+// TestFigure7SpectreV4 replays Figure 7.
+func TestFigure7SpectreV4(t *testing.T) {
+	m := New(fig7Program())
+	m.Regs.Write(ra, mem.Pub(0x40))
+	drain(t, m, 1)
+	mustStep(t, m, Fetch()) // 2
+	mustStep(t, m, Fetch()) // 3
+	mustStep(t, m, Fetch()) // 4
+
+	// execute 3: the store's address is unresolved, so the load runs
+	// ahead and reads the stale secret from memory.
+	obs := mustStep(t, m, Execute(3))
+	wantTrace(t, obs, ReadObs(0x43, mem.Public))
+	wantBufEntry(t, m, 3, "(rc = 90sec{⊥, 0x43})")
+
+	// execute 4: secret-dependent address — the leak.
+	obs = mustStep(t, m, Execute(4))
+	wantTrace(t, obs, ReadObs(0x44+0x5A, mem.Secret))
+
+	// execute 2 : addr: resolves to 0x43, detects that the load at 3
+	// read stale data, rolls back 3 and 4.
+	obs = mustStep(t, m, ExecuteAddr(2))
+	wantTrace(t, obs, RollbackObs(), FwdObs(0x43, mem.Public))
+	wantNoBufEntry(t, m, 3)
+	wantNoBufEntry(t, m, 4)
+	wantBufEntry(t, m, 2, "store(0pub, 67pub)")
+	if m.PC != 3 {
+		t.Fatalf("PC = %d, want 3", m.PC)
+	}
+}
+
+// fig8Program is Figure 1 with a fence inserted after the branch.
+func fig8Program() *isa.Program {
+	b := isa.NewBuilder(1)
+	b.Br(isa.OpGt, []isa.Operand{isa.ImmW(4), isa.R(ra)}, 2, 5) // 1
+	b.Fence()                                                   // 2
+	b.Load(rb, isa.ImmW(0x40), isa.R(ra))                       // 3
+	b.Load(rc, isa.ImmW(0x44), isa.R(rb))                       // 4
+	b.Region(0x40, mem.Pub(10), mem.Pub(11), mem.Pub(12), mem.Pub(13))
+	b.Region(0x44, mem.Pub(20), mem.Pub(21), mem.Pub(22), mem.Pub(23))
+	b.Region(0x48, mem.Sec(0xA0), mem.Sec(0xA1), mem.Sec(0xA2), mem.Sec(0xA3))
+	return b.MustBuild()
+}
+
+// TestFigure8FenceBlocksV1 replays Figure 8: the fence stalls both
+// loads until the branch resolves, so nothing leaks.
+func TestFigure8FenceBlocksV1(t *testing.T) {
+	m := New(fig8Program())
+	m.Regs.Write(ra, mem.Pub(9))
+
+	mustStep(t, m, FetchGuess(true))
+	mustStep(t, m, Fetch()) // 2: fence
+	mustStep(t, m, Fetch()) // 3: load
+	mustStep(t, m, Fetch()) // 4: load
+
+	// The loads cannot execute past the fence.
+	if _, err := m.Step(Execute(3)); !errors.Is(err, ErrStall) {
+		t.Fatalf("execute 3 past a fence must stall, got %v", err)
+	}
+	if _, err := m.Step(Execute(4)); !errors.Is(err, ErrStall) {
+		t.Fatalf("execute 4 past a fence must stall, got %v", err)
+	}
+
+	// Resolving the branch exposes the misprediction; the fence and
+	// loads are rolled back and nothing secret was ever observed.
+	obs := mustStep(t, m, Execute(1))
+	wantTrace(t, obs, RollbackObs(), JumpObs(5, mem.Public))
+	wantBufEntry(t, m, 1, "jump 5")
+	wantNoBufEntry(t, m, 2)
+	wantNoBufEntry(t, m, 3)
+	wantNoBufEntry(t, m, 4)
+	if m.PC != 5 {
+		t.Fatalf("PC = %d, want 5", m.PC)
+	}
+}
+
+// TestFenceExecutesNothing confirms a fence has no execute rule.
+func TestFenceExecutesNothing(t *testing.T) {
+	m := New(fig8Program())
+	m.Regs.Write(ra, mem.Pub(1))
+	mustStep(t, m, FetchGuess(true))
+	mustStep(t, m, Fetch()) // fence at index 2
+	if _, err := m.Step(Execute(2)); !errors.Is(err, ErrStall) {
+		t.Fatalf("fences have no execute rule, got %v", err)
+	}
+	// It retires only once it reaches the buffer head.
+	if _, err := m.Step(Retire()); !errors.Is(err, ErrStall) {
+		t.Fatalf("branch at head is unresolved; retire must stall, got %v", err)
+	}
+	mustStep(t, m, Execute(1))
+	mustStep(t, m, Retire()) // jump
+	mustStep(t, m, Retire()) // fence
+	if m.Retired != 2 {
+		t.Fatalf("retired = %d, want 2", m.Retired)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pitchfork/internal/isa"
+)
+
+// RSBPolicy selects what top(σ) yields when the return stack buffer is
+// empty. Appendix A documents three behaviours seen in real processors
+// plus the default presentation where the attacker supplies the guess.
+type RSBPolicy uint8
+
+const (
+	// RSBAttackerChoice is the paper's default: when top(σ) = ⊥ the
+	// schedule must supply the speculative return target via fetch: n′.
+	RSBAttackerChoice RSBPolicy = iota
+	// RSBRefuse models AMD processors, which refuse to speculate on an
+	// empty RSB: fetching a ret then stalls (the directive is invalid).
+	RSBRefuse
+	// RSBCircular models "most Intel processors", which treat the RSB
+	// as a circular buffer: top(σ) always produces a value (the stale
+	// slot contents), never ⊥.
+	RSBCircular
+)
+
+// String names the policy.
+func (p RSBPolicy) String() string {
+	switch p {
+	case RSBAttackerChoice:
+		return "attacker-choice"
+	case RSBRefuse:
+		return "refuse"
+	case RSBCircular:
+		return "circular"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// rsbCircularSize is the ring capacity under RSBCircular; 16 entries is
+// the size of the RSB on most of the Intel parts the ret2spec paper
+// measured.
+const rsbCircularSize = 16
+
+type rsbEntry struct {
+	idx    int // reorder-buffer index the entry was journaled at
+	isPush bool
+	target isa.Addr // push payload
+}
+
+// RSB is the return stack buffer σ: a journal of push/pop commands
+// keyed by reorder-buffer indices. Keeping the journal (rather than a
+// materialized stack) makes rollback exact: misspeculation at buffer
+// index i simply discards entries journaled at indices ≥ i, which is
+// how the paper says σ is "rolled back on misspeculation or memory
+// hazards".
+type RSB struct {
+	policy  RSBPolicy
+	entries []rsbEntry
+}
+
+// NewRSB returns an empty RSB with the given policy.
+func NewRSB(policy RSBPolicy) *RSB { return &RSB{policy: policy} }
+
+// Policy returns the empty-RSB behaviour.
+func (s *RSB) Policy() RSBPolicy { return s.policy }
+
+// Push journals σ[i ↦ push n].
+func (s *RSB) Push(idx int, target isa.Addr) {
+	s.entries = append(s.entries, rsbEntry{idx: idx, isPush: true, target: target})
+}
+
+// Pop journals σ[i ↦ pop].
+func (s *RSB) Pop(idx int) {
+	s.entries = append(s.entries, rsbEntry{idx: idx})
+}
+
+// Rollback discards entries journaled at buffer indices ≥ i.
+func (s *RSB) Rollback(i int) {
+	keep := s.entries[:0]
+	for _, e := range s.entries {
+		if e.idx < i {
+			keep = append(keep, e)
+		}
+	}
+	s.entries = keep
+}
+
+// Top evaluates top(σ) = st(MAX(st)) where st = JσK: the journal is
+// replayed in index order, pushes appending and pops removing the top.
+// Under RSBCircular the replay runs over a ring, so ok is always true;
+// otherwise ok reports whether the resulting stack is non-empty (⊥).
+func (s *RSB) Top() (isa.Addr, bool) {
+	if s.policy == RSBCircular {
+		var ring [rsbCircularSize]isa.Addr
+		sp := 0
+		for _, e := range s.entries {
+			if e.isPush {
+				sp++
+				ring[((sp%rsbCircularSize)+rsbCircularSize)%rsbCircularSize] = e.target
+			} else {
+				sp--
+			}
+		}
+		return ring[((sp%rsbCircularSize)+rsbCircularSize)%rsbCircularSize], true
+	}
+	var st []isa.Addr
+	for _, e := range s.entries {
+		if e.isPush {
+			st = append(st, e.target)
+		} else if len(st) > 0 {
+			st = st[:len(st)-1]
+		}
+	}
+	if len(st) == 0 {
+		return 0, false
+	}
+	return st[len(st)-1], true
+}
+
+// Depth returns the replayed stack depth (may go negative under
+// underflow before clamping; clamped at zero like the replay).
+func (s *RSB) Depth() int {
+	d := 0
+	for _, e := range s.entries {
+		if e.isPush {
+			d++
+		} else if d > 0 {
+			d--
+		}
+	}
+	return d
+}
+
+// Clone returns a deep copy.
+func (s *RSB) Clone() *RSB {
+	c := &RSB{policy: s.policy, entries: make([]rsbEntry, len(s.entries))}
+	copy(c.entries, s.entries)
+	return c
+}
+
+// String renders the journal, e.g. "[1↦push 4][8↦pop]".
+func (s *RSB) String() string {
+	if len(s.entries) == 0 {
+		return "∅"
+	}
+	var b strings.Builder
+	for _, e := range s.entries {
+		if e.isPush {
+			fmt.Fprintf(&b, "[%d↦push %d]", e.idx, e.target)
+		} else {
+			fmt.Fprintf(&b, "[%d↦pop]", e.idx)
+		}
+	}
+	return b.String()
+}

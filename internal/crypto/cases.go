@@ -1,0 +1,340 @@
+// Package crypto contains the four case studies of the paper's Table 2
+// — curve25519-donna, libsodium secretbox, OpenSSL ssl3 record
+// validation, and OpenSSL MEE-CBC — as CTL sources compiled under both
+// the branchy (C) and constant-time (FaCT) backends.
+//
+// The ports are structural, per the paper's findings (§4.2.2): the
+// crypto cores are constant-time in both versions; what differs is the
+// ancillary code around them.
+//
+//   - The C builds carry the glue the paper found vulnerable: the
+//     stack-protector failure path of libsodium secretbox walks a
+//     linked list past its end (Fig. 9), and the OpenSSL record paths
+//     carry bounds-checked dispatch that speculatively overruns into
+//     adjacent secrets. All are sequentially constant-time; they leak
+//     only speculatively (Spectre v1/v1.1).
+//
+//   - The FaCT builds have no such glue ("such higher-level code is
+//     not present in the corresponding FaCT implementations") but the
+//     OpenSSL ones reproduce the Fig. 10 gadget: the compiler reuses
+//     the register of a public array index for a secret-derived flag
+//     (the paper's %r14), and a speculative stale return (Spectre v4,
+//     "forwarding hazard") re-executes the indexing instruction with
+//     the secret in that register. The register reuse is applied as an
+//     explicit post-compilation coalescing pass, since CTL's naive
+//     allocator never reuses registers on its own.
+package crypto
+
+import (
+	"fmt"
+
+	"pitchfork/internal/ct"
+	"pitchfork/internal/isa"
+)
+
+// Case identifies a Table 2 case study.
+type Case struct {
+	Name string
+	// srcC and srcFaCT are the two sources (the FaCT source omits the
+	// C-only ancillary glue, as in the paper's corpora).
+	srcC, srcFaCT string
+	// coalesce names two locals of main whose registers the FaCT
+	// build's allocator reuses (Fig. 10's %r14 artifact); empty means
+	// no reuse.
+	coalesceA, coalesceB string
+}
+
+// donnaSrc is a reduced fixed-window Montgomery-style ladder: all
+// memory indices and loop bounds public, secret bits handled with
+// arithmetic masking — the structure of curve25519-donna, which is
+// constant-time C. Identical in both builds.
+const donnaSrc = `
+// curve25519-donna (reduced): constant-time ladder over a toy field.
+secret scalar[4] = {165, 90, 60, 195};
+public basepoint = 9;
+public out;
+
+fn main() {
+  var x1 = basepoint;
+  var x2 = 1;
+  var z2 = 0;
+  var i = 0;
+  while (i < 4) {
+    var k = scalar[i];
+    var bit = (k >> 1) & 1;
+    var mask = 0 - bit;
+    var t = (x2 ^ z2) & mask;
+    x2 = x2 ^ t;
+    z2 = z2 ^ t;
+    x2 = (x2 * x1 + z2 * 19) % 251;
+    z2 = (z2 * x1 + x2 + 1) % 251;
+    i = i + 1;
+  }
+  out = x2;
+}
+`
+
+// secretboxCoreSrc is the shared constant-time core: a toy stream
+// cipher with public indices only.
+const secretboxCoreSrc = `
+public nonce[2] = {7, 13};
+public msg[4] = {1, 2, 3, 4};
+public ctext[4];
+
+fn stream(i) {
+  var a = key[i % 8] + nonce[i % 2];
+  var b = a * 33 + i;
+  return b ^ (a >> 3);
+}
+
+fn encrypt() {
+  var i = 0;
+  while (i < 4) {
+    ctext[i] = msg[i] ^ stream(i);
+    i = i + 1;
+  }
+  return 0;
+}
+`
+
+// secretboxCSrc adds the stack-protector failure path of Fig. 9: the
+// canary check never fails architecturally, but a mispredicted branch
+// runs __libc_message's linked-list walk, which overruns the node
+// array into the adjacent key and dereferences the secret.
+const secretboxCSrc = `
+// libsodium secretbox, C build: CT core + stack-protector glue.
+public iov[4];
+public nodes[10] = {0, 2, 0, 4, 0, 6, 0, 8, 0, 10};
+secret key[8] = {161, 162, 163, 164, 165, 166, 167, 168};
+public canary = 1234;
+` + secretboxCoreSrc + `
+fn libc_message() {
+  var cnt = 3;
+  var p = 0;
+  while (cnt > 0) {
+    iov[cnt] = nodes[p];
+    p = nodes[p + 1];
+    cnt = cnt - 1;
+  }
+  return 0;
+}
+
+fn main() {
+  var r = encrypt();
+  if (canary != 1234) {
+    r = libc_message();
+  }
+}
+`
+
+// secretboxFaCTSrc is the core alone — the paper notes the vulnerable
+// higher-level code is simply not present in the FaCT implementation.
+const secretboxFaCTSrc = `
+// libsodium secretbox, FaCT build: CT core only.
+secret key[8] = {161, 162, 163, 164, 165, 166, 167, 168};
+` + secretboxCoreSrc + `
+fn main() {
+  var r = encrypt();
+}
+`
+
+// ssl3CSrc: the record-validation core is constant-time (masked pad
+// check), but the C build's record dispatch glue bounds-checks an
+// attacker-influenced offset and speculatively overruns into the
+// decrypted (secret) record.
+const ssl3CSrc = `
+// OpenSSL ssl3 record validation, C build.
+public lens[4] = {1, 2, 3, 4};
+secret rec[8] = {20, 21, 22, 23, 24, 25, 26, 3};
+public maxpad = 4;
+public lut[64];
+public reclen = 8;
+public off = 7;
+public ok;
+
+fn padcheck() {
+  var pad = rec[reclen - 1];
+  var over = (pad > maxpad);
+  var mask = 0 - over;
+  var clamped = (pad & ~mask) | (maxpad & mask);
+  return clamped;
+}
+
+fn main() {
+  var p = padcheck();
+  // Dispatch glue: bounds check, then a table access through a
+  // length byte. Architecturally off=7 is rejected; speculatively the
+  // access reads lens[7] — inside the secret record — and indexes the
+  // lookup table with it.
+  var t = 0;
+  if (off < 4) {
+    t = lut[lens[off]];
+  }
+  ok = t + p - p;
+}
+`
+
+// ssl3FaCTSrc: constant-time pad check plus the MAC call structure;
+// the register of the public table index idx is reused for the
+// secret-derived pad flag (coalesced below), reproducing Fig. 10's
+// shape inside the record-validate path.
+const ssl3FaCTSrc = `
+// OpenSSL ssl3 record validation, FaCT build.
+secret rec[8] = {20, 21, 22, 23, 24, 25, 26, 3};
+public maxpad = 4;
+public lut[64];
+public reclen = 8;
+public ok;
+
+fn mac_update(x) {
+  return x * 31 + 7;
+}
+
+fn main() {
+  var idx = reclen - 1;
+  var h1 = mac_update(3);
+  var t = lut[idx];
+  var pad = rec[reclen - 1];
+  var padflag = 1;
+  if (pad > maxpad) {
+    pad = maxpad;
+    padflag = 0;
+  }
+  var h2 = mac_update(5);
+  rec[0] = padflag;
+  ok = h1 + h2 + t;
+}
+`
+
+// meeCSrc: MAC-then-encrypt CBC, C build: CT core plus branchy copy
+// glue with a speculative out-of-bounds read.
+const meeCSrc = `
+// OpenSSL MEE-CBC, C build.
+public blocks[4] = {11, 12, 13, 14};
+secret ptext[8] = {30, 31, 32, 33, 34, 35, 36, 2};
+public maxpad = 4;
+public lut[64];
+public n = 6;
+public out;
+
+fn cbc_mac() {
+  var acc = 5;
+  var i = 0;
+  while (i < 4) {
+    acc = (acc * 31 + blocks[i]) % 255;
+    i = i + 1;
+  }
+  return acc;
+}
+
+fn main() {
+  var mac = cbc_mac();
+  var t = 0;
+  // Copy glue: the bounds check is speculatively bypassed and
+  // blocks[n] reads into the adjacent secret plaintext, whose value
+  // then indexes the lookup table.
+  if (n < 4) {
+    t = lut[blocks[n]];
+  }
+  out = mac + t;
+}
+`
+
+// meeFaCTSrc is the Fig. 10 gadget itself: aesni_cbc_encrypt, the
+// out[len-1] pad read, the linearized pad>maxpad clamp, and the
+// _sha1_update call whose speculative stale return re-executes the
+// indexing instruction with the pad flag in the index register.
+const meeFaCTSrc = `
+// OpenSSL MEE-CBC, FaCT build (Fig. 10 shape).
+secret outbuf[8] = {40, 41, 42, 43, 44, 45, 46, 2};
+public outlen = 8;
+public maxpad = 4;
+public lut[64];
+public result;
+
+fn aesni_cbc_encrypt(x) {
+  return x * 17 + 3;
+}
+
+fn sha1_update(x) {
+  return x * 13 + 1;
+}
+
+fn main() {
+  var idx = outlen - 1;
+  var e = aesni_cbc_encrypt(2);
+  var last = lut[idx];
+  var pad = outbuf[outlen - 1];
+  var ret = 1;
+  if (pad > maxpad) {
+    pad = maxpad;
+    ret = 0;
+  }
+  var h = sha1_update(4);
+  outbuf[0] = ret;
+  result = e + h + last;
+}
+`
+
+// Cases returns the Table 2 case studies in paper order.
+func Cases() []Case {
+	return []Case{
+		{Name: "curve25519-donna", srcC: donnaSrc, srcFaCT: donnaSrc},
+		{Name: "libsodium secretbox", srcC: secretboxCSrc, srcFaCT: secretboxFaCTSrc},
+		{Name: "OpenSSL ssl3 record validate", srcC: ssl3CSrc, srcFaCT: ssl3FaCTSrc, coalesceA: "idx", coalesceB: "padflag"},
+		{Name: "OpenSSL MEE-CBC", srcC: meeCSrc, srcFaCT: meeFaCTSrc, coalesceA: "idx", coalesceB: "ret"},
+	}
+}
+
+// Build compiles the case study under the given mode, applying the
+// FaCT builds' register-reuse artifact where the case declares one.
+func (c Case) Build(mode ct.Mode) (*ct.Compiled, error) {
+	src := c.srcC
+	if mode == ct.ModeFaCT {
+		src = c.srcFaCT
+	}
+	comp, err := ct.Compile(src, mode)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: %s (%s): %w", c.Name, mode, err)
+	}
+	if mode == ct.ModeFaCT && c.coalesceA != "" {
+		if err := coalesce(comp, "main", c.coalesceA, c.coalesceB); err != nil {
+			return nil, fmt.Errorf("crypto: %s: %w", c.Name, err)
+		}
+	}
+	return comp, nil
+}
+
+// coalesce renames the register of variable b in fn to the register of
+// variable a, modeling a register allocator assigning two
+// non-overlapping live ranges to one physical register — the artifact
+// behind the paper's Fig. 10 finding. The caller guarantees (by source
+// construction) that the live ranges do not overlap, so architectural
+// semantics are preserved; the *speculative* semantics change is the
+// point.
+func coalesce(c *ct.Compiled, fn, a, b string) error {
+	regs := c.LocalReg[fn]
+	ra, okA := regs[a]
+	rb, okB := regs[b]
+	if !okA || !okB {
+		return fmt.Errorf("coalesce: no locals %q/%q in %s", a, b, fn)
+	}
+	rename := func(o *isa.Operand) {
+		if o.IsReg && o.Reg == rb {
+			o.Reg = ra
+		}
+	}
+	for _, n := range c.Prog.Points() {
+		in, _ := c.Prog.At(n)
+		if in.Dst == rb && (in.Kind == isa.KOp || in.Kind == isa.KLoad) {
+			in.Dst = ra
+		}
+		rename(&in.Src)
+		for i := range in.Args {
+			rename(&in.Args[i])
+		}
+		c.Prog.Add(n, in)
+	}
+	regs[b] = ra
+	return nil
+}

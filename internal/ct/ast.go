@@ -1,0 +1,150 @@
+package ct
+
+import "pitchfork/internal/mem"
+
+// Program is a parsed CTL compilation unit: global declarations and
+// function definitions. Execution starts at the function named main.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a module-level scalar or array with a secrecy
+// label, e.g. `secret key[4];` or `public len = 5;`.
+type GlobalDecl struct {
+	Name  string
+	Label mem.Label
+	IsArr bool
+	Size  uint64   // array length (1 for scalars)
+	Init  []uint64 // optional initializer words
+	Line  int
+}
+
+// FuncDecl defines a function. Parameters carry labels; the return
+// label is inferred as the join of returned expressions.
+type FuncDecl struct {
+	Name   string
+	Params []Param
+	Body   []Stmt
+	Line   int
+}
+
+// Param is a function parameter.
+type Param struct {
+	Name  string
+	Label mem.Label
+}
+
+// Stmt is a CTL statement.
+type Stmt interface{ stmtNode() }
+
+// VarStmt declares a local: `var x = e;`.
+type VarStmt struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns a scalar: `x = e;`.
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	Line int
+}
+
+// StoreStmt assigns an array element: `a[i] = e;`.
+type StoreStmt struct {
+	Arr  string
+	Idx  Expr
+	Val  Expr
+	Line int
+}
+
+// IfStmt is `if (c) {…} else {…}` (else optional).
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is `while (c) {…}`.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt is `return e;` (expression optional).
+type ReturnStmt struct {
+	Val  Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for its effects (calls).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// FenceStmt is the `fence;` intrinsic: a speculation barrier.
+type FenceStmt struct{ Line int }
+
+func (*VarStmt) stmtNode()    {}
+func (*AssignStmt) stmtNode() {}
+func (*StoreStmt) stmtNode()  {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+func (*FenceStmt) stmtNode()  {}
+
+// Expr is a CTL expression.
+type Expr interface{ exprNode() }
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	Val  uint64
+	Line int
+}
+
+// IdentExpr references a scalar variable or parameter.
+type IdentExpr struct {
+	Name string
+	Line int
+}
+
+// IndexExpr reads an array element: `a[i]`.
+type IndexExpr struct {
+	Arr  string
+	Idx  Expr
+	Line int
+}
+
+// BinExpr is a binary operation.
+type BinExpr struct {
+	Op   string
+	X, Y Expr
+	Line int
+}
+
+// UnExpr is a unary operation: `-x`, `~x`, `!x`.
+type UnExpr struct {
+	Op   string
+	X    Expr
+	Line int
+}
+
+// CallExpr calls a function.
+type CallExpr struct {
+	Name string
+	Args []Expr
+	Line int
+}
+
+func (*NumExpr) exprNode()   {}
+func (*IdentExpr) exprNode() {}
+func (*IndexExpr) exprNode() {}
+func (*BinExpr) exprNode()   {}
+func (*UnExpr) exprNode()    {}
+func (*CallExpr) exprNode()  {}

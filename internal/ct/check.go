@@ -1,0 +1,238 @@
+package ct
+
+import (
+	"fmt"
+
+	"pitchfork/internal/mem"
+)
+
+// labels is the result of the flow-insensitive label analysis: the
+// static secrecy label of every global, local (per function), and
+// function return value. Labels are computed as a fixpoint of joins,
+// which is what the FaCT backend consults to decide which control flow
+// must be linearized.
+type labels struct {
+	global map[string]mem.Label
+	local  map[string]map[string]mem.Label // func → var → label
+	ret    map[string]mem.Label
+	funcs  map[string]*FuncDecl
+	arrays map[string]*GlobalDecl
+}
+
+// analyze resolves names and computes the label fixpoint.
+func analyze(p *Program) (*labels, error) {
+	lb := &labels{
+		global: make(map[string]mem.Label),
+		local:  make(map[string]map[string]mem.Label),
+		ret:    make(map[string]mem.Label),
+		funcs:  make(map[string]*FuncDecl),
+		arrays: make(map[string]*GlobalDecl),
+	}
+	for _, g := range p.Globals {
+		if _, dup := lb.global[g.Name]; dup {
+			return nil, &Error{Line: g.Line, Msg: "duplicate global " + g.Name}
+		}
+		lb.global[g.Name] = g.Label
+		lb.arrays[g.Name] = g
+	}
+	for _, f := range p.Funcs {
+		if _, dup := lb.funcs[f.Name]; dup {
+			return nil, &Error{Line: f.Line, Msg: "duplicate function " + f.Name}
+		}
+		if _, clash := lb.global[f.Name]; clash {
+			return nil, &Error{Line: f.Line, Msg: "function name collides with global: " + f.Name}
+		}
+		lb.funcs[f.Name] = f
+		lb.local[f.Name] = make(map[string]mem.Label)
+		for _, prm := range f.Params {
+			lb.local[f.Name][prm.Name] = prm.Label
+		}
+		lb.ret[f.Name] = mem.Public
+	}
+	main, ok := lb.funcs["main"]
+	if !ok {
+		return nil, &Error{Msg: "no main function"}
+	}
+	if len(main.Params) != 0 {
+		return nil, &Error{Line: main.Line, Msg: "main must take no parameters"}
+	}
+	// Name resolution + label fixpoint. The lattice is finite and
+	// joins are monotone, so iteration to a cap is a fixpoint check.
+	for iter := 0; ; iter++ {
+		if iter > 64 {
+			return nil, &Error{Msg: "label analysis did not converge"}
+		}
+		changed := false
+		for _, f := range p.Funcs {
+			c, err := lb.scanFunc(f)
+			if err != nil {
+				return nil, err
+			}
+			changed = changed || c
+		}
+		if !changed {
+			return lb, nil
+		}
+	}
+}
+
+func (lb *labels) scanFunc(f *FuncDecl) (bool, error) {
+	sc := &scanner{lb: lb, fn: f}
+	if err := sc.stmts(f.Body); err != nil {
+		return false, err
+	}
+	return sc.changed, nil
+}
+
+type scanner struct {
+	lb      *labels
+	fn      *FuncDecl
+	changed bool
+}
+
+func (s *scanner) raiseLocal(name string, l mem.Label) {
+	cur := s.lb.local[s.fn.Name][name]
+	if cur.Join(l) != cur {
+		s.lb.local[s.fn.Name][name] = cur.Join(l)
+		s.changed = true
+	}
+}
+
+func (s *scanner) stmts(body []Stmt) error {
+	for _, st := range body {
+		if err := s.stmt(st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *scanner) stmt(st Stmt) error {
+	switch n := st.(type) {
+	case *VarStmt:
+		l, err := s.expr(n.Init)
+		if err != nil {
+			return err
+		}
+		if _, exists := s.lb.local[s.fn.Name][n.Name]; !exists {
+			s.lb.local[s.fn.Name][n.Name] = mem.Public
+			s.changed = true
+		}
+		s.raiseLocal(n.Name, l)
+	case *AssignStmt:
+		l, err := s.expr(n.Val)
+		if err != nil {
+			return err
+		}
+		if _, isLocal := s.lb.local[s.fn.Name][n.Name]; isLocal {
+			s.raiseLocal(n.Name, l)
+			return nil
+		}
+		if g, isGlobal := s.lb.arrays[n.Name]; isGlobal {
+			if g.IsArr {
+				return &Error{Line: n.Line, Msg: "cannot assign whole array " + n.Name}
+			}
+			return nil
+		}
+		return &Error{Line: n.Line, Msg: "undeclared variable " + n.Name}
+	case *StoreStmt:
+		g, ok := s.lb.arrays[n.Arr]
+		if !ok || !g.IsArr {
+			return &Error{Line: n.Line, Msg: n.Arr + " is not an array"}
+		}
+		if _, err := s.expr(n.Idx); err != nil {
+			return err
+		}
+		if _, err := s.expr(n.Val); err != nil {
+			return err
+		}
+	case *IfStmt:
+		if _, err := s.expr(n.Cond); err != nil {
+			return err
+		}
+		if err := s.stmts(n.Then); err != nil {
+			return err
+		}
+		return s.stmts(n.Else)
+	case *WhileStmt:
+		if _, err := s.expr(n.Cond); err != nil {
+			return err
+		}
+		return s.stmts(n.Body)
+	case *ReturnStmt:
+		if n.Val == nil {
+			return nil
+		}
+		l, err := s.expr(n.Val)
+		if err != nil {
+			return err
+		}
+		cur := s.lb.ret[s.fn.Name]
+		if cur.Join(l) != cur {
+			s.lb.ret[s.fn.Name] = cur.Join(l)
+			s.changed = true
+		}
+	case *ExprStmt:
+		_, err := s.expr(n.X)
+		return err
+	case *FenceStmt:
+	default:
+		return &Error{Msg: fmt.Sprintf("unknown statement %T", st)}
+	}
+	return nil
+}
+
+func (s *scanner) expr(e Expr) (mem.Label, error) {
+	switch n := e.(type) {
+	case *NumExpr:
+		return mem.Public, nil
+	case *IdentExpr:
+		if l, ok := s.lb.local[s.fn.Name][n.Name]; ok {
+			return l, nil
+		}
+		if g, ok := s.lb.arrays[n.Name]; ok {
+			if g.IsArr {
+				return mem.Public, &Error{Line: n.Line, Msg: n.Name + " is an array; index it"}
+			}
+			return g.Label, nil
+		}
+		return mem.Public, &Error{Line: n.Line, Msg: "undeclared variable " + n.Name}
+	case *IndexExpr:
+		g, ok := s.lb.arrays[n.Arr]
+		if !ok || !g.IsArr {
+			return mem.Public, &Error{Line: n.Line, Msg: n.Arr + " is not an array"}
+		}
+		il, err := s.expr(n.Idx)
+		if err != nil {
+			return mem.Public, err
+		}
+		return g.Label.Join(il), nil
+	case *BinExpr:
+		xl, err := s.expr(n.X)
+		if err != nil {
+			return mem.Public, err
+		}
+		yl, err := s.expr(n.Y)
+		if err != nil {
+			return mem.Public, err
+		}
+		return xl.Join(yl), nil
+	case *UnExpr:
+		return s.expr(n.X)
+	case *CallExpr:
+		f, ok := s.lb.funcs[n.Name]
+		if !ok {
+			return mem.Public, &Error{Line: n.Line, Msg: "undeclared function " + n.Name}
+		}
+		if len(n.Args) != len(f.Params) {
+			return mem.Public, &Error{Line: n.Line, Msg: fmt.Sprintf("%s expects %d arguments, got %d", n.Name, len(f.Params), len(n.Args))}
+		}
+		for _, a := range n.Args {
+			if _, err := s.expr(a); err != nil {
+				return mem.Public, err
+			}
+		}
+		return s.lb.ret[n.Name], nil
+	}
+	return mem.Public, &Error{Msg: fmt.Sprintf("unknown expression %T", e)}
+}

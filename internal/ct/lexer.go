@@ -1,0 +1,204 @@
+// Package ct implements CTL, a small C-like language with secrecy
+// type qualifiers, and its compiler to the speculative machine's ISA.
+//
+// CTL stands in for the two toolchains of the paper's evaluation
+// (§4.2): the same source compiles under two backends —
+//
+//   - ModeC compiles control flow to real branches, like the C
+//     implementations of the case studies (clang output);
+//   - ModeFaCT compiles secret-condition control flow to straight-line
+//     constant-time selects, reproducing the transformation the FaCT
+//     compiler applies (Fig. 10's "transforms the branch … into
+//     straight-line constant-time code").
+//
+// This is what lets Table 2's C-vs-FaCT columns be regenerated from a
+// single source per case study.
+package ct
+
+import (
+	"fmt"
+	"unicode"
+)
+
+// tokKind discriminates lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct   // operators and punctuation
+	tokKeyword // fn, var, if, else, while, return, secret, public, fence
+)
+
+var keywords = map[string]bool{
+	"fn": true, "var": true, "if": true, "else": true, "while": true,
+	"return": true, "secret": true, "public": true, "fence": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	num  uint64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes CTL source.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("ct: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) nextRune() rune {
+	r := l.peekRune()
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+// twoCharPunct lists the multi-rune operators, longest match first.
+var twoCharPunct = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+func (l *lexer) lex() ([]token, error) {
+	var toks []token
+	for {
+		for {
+			r := l.peekRune()
+			if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+				l.nextRune()
+				continue
+			}
+			// Line comments.
+			if r == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+				for l.peekRune() != '\n' && l.peekRune() != 0 {
+					l.nextRune()
+				}
+				continue
+			}
+			break
+		}
+		line, col := l.line, l.col
+		r := l.peekRune()
+		switch {
+		case r == 0:
+			toks = append(toks, token{kind: tokEOF, line: line, col: col})
+			return toks, nil
+		case unicode.IsLetter(r) || r == '_':
+			var text []rune
+			for unicode.IsLetter(l.peekRune()) || unicode.IsDigit(l.peekRune()) || l.peekRune() == '_' {
+				text = append(text, l.nextRune())
+			}
+			kind := tokIdent
+			if keywords[string(text)] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind: kind, text: string(text), line: line, col: col})
+		case unicode.IsDigit(r):
+			var text []rune
+			for unicode.IsDigit(l.peekRune()) || isHexish(l.peekRune()) {
+				text = append(text, l.nextRune())
+			}
+			var n uint64
+			var err error
+			n, err = parseNumber(string(text))
+			if err != nil {
+				return nil, l.errf(line, col, "bad number %q", string(text))
+			}
+			toks = append(toks, token{kind: tokNumber, text: string(text), num: n, line: line, col: col})
+		default:
+			matched := false
+			for _, p := range twoCharPunct {
+				if l.pos+1 < len(l.src) && string(l.src[l.pos:l.pos+2]) == p {
+					l.nextRune()
+					l.nextRune()
+					toks = append(toks, token{kind: tokPunct, text: p, line: line, col: col})
+					matched = true
+					break
+				}
+			}
+			if matched {
+				continue
+			}
+			switch r {
+			case '+', '-', '*', '/', '%', '&', '|', '^', '~', '!', '<', '>', '=', '(', ')', '{', '}', '[', ']', ',', ';':
+				l.nextRune()
+				toks = append(toks, token{kind: tokPunct, text: string(r), line: line, col: col})
+			default:
+				return nil, l.errf(line, col, "unexpected character %q", string(r))
+			}
+		}
+	}
+}
+
+func isHexish(r rune) bool {
+	return (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F') || r == 'x' || r == 'X'
+}
+
+func parseNumber(s string) (uint64, error) {
+	var n uint64
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		for _, c := range s[2:] {
+			var d uint64
+			switch {
+			case c >= '0' && c <= '9':
+				d = uint64(c - '0')
+			case c >= 'a' && c <= 'f':
+				d = uint64(c-'a') + 10
+			case c >= 'A' && c <= 'F':
+				d = uint64(c-'A') + 10
+			default:
+				return 0, fmt.Errorf("bad hex digit %q", c)
+			}
+			n = n*16 + d
+		}
+		return n, nil
+	}
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("bad digit %q", c)
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	return n, nil
+}

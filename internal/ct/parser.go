@@ -1,0 +1,434 @@
+package ct
+
+import (
+	"pitchfork/internal/mem"
+)
+
+// Parse lexes and parses a CTL compilation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := newLexer(src).lex()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(text string) bool {
+	t := p.peek()
+	return (t.kind == tokPunct || t.kind == tokKeyword) && t.text == text
+}
+
+func (p *parser) accept(text string) bool {
+	if p.at(text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) (token, error) {
+	if !p.at(text) {
+		t := p.peek()
+		return t, &Error{Line: t.line, Col: t.col, Msg: "expected " + text + ", found " + t.String()}
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return t, &Error{Line: t.line, Col: t.col, Msg: "expected identifier, found " + t.String()}
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.peek().kind != tokEOF {
+		switch {
+		case p.at("secret") || p.at("public"):
+			g, err := p.parseGlobal()
+			if err != nil {
+				return nil, err
+			}
+			prog.Globals = append(prog.Globals, g)
+		case p.at("fn"):
+			f, err := p.parseFunc()
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, f)
+		default:
+			t := p.peek()
+			return nil, &Error{Line: t.line, Col: t.col, Msg: "expected declaration, found " + t.String()}
+		}
+	}
+	return prog, nil
+}
+
+func (p *parser) parseGlobal() (*GlobalDecl, error) {
+	qual := p.next() // secret | public
+	label := mem.Public
+	if qual.text == "secret" {
+		label = mem.Secret
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	g := &GlobalDecl{Name: name.text, Label: label, Size: 1, Line: qual.line}
+	if p.accept("[") {
+		sz := p.peek()
+		if sz.kind != tokNumber {
+			return nil, &Error{Line: sz.line, Col: sz.col, Msg: "expected array size"}
+		}
+		p.next()
+		if sz.num == 0 {
+			return nil, &Error{Line: sz.line, Col: sz.col, Msg: "array size must be positive"}
+		}
+		g.IsArr = true
+		g.Size = sz.num
+		if _, err := p.expect("]"); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept("=") {
+		if p.accept("{") {
+			for {
+				v := p.peek()
+				if v.kind != tokNumber {
+					return nil, &Error{Line: v.line, Col: v.col, Msg: "expected initializer number"}
+				}
+				p.next()
+				g.Init = append(g.Init, v.num)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if _, err := p.expect("}"); err != nil {
+				return nil, err
+			}
+		} else {
+			v := p.peek()
+			if v.kind != tokNumber {
+				return nil, &Error{Line: v.line, Col: v.col, Msg: "expected initializer number"}
+			}
+			p.next()
+			g.Init = []uint64{v.num}
+		}
+	}
+	if uint64(len(g.Init)) > g.Size {
+		return nil, &Error{Line: g.Line, Msg: "too many initializers for " + g.Name}
+	}
+	_, err = p.expect(";")
+	return g, err
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	fnTok := p.next() // fn
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect("("); err != nil {
+		return nil, err
+	}
+	f := &FuncDecl{Name: name.text, Line: fnTok.line}
+	for !p.at(")") {
+		label := mem.Public
+		if p.accept("secret") {
+			label = mem.Secret
+		} else {
+			p.accept("public")
+		}
+		pn, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, Param{Name: pn.text, Label: label})
+		if !p.accept(",") {
+			break
+		}
+	}
+	if _, err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.at("}") {
+		if p.peek().kind == tokEOF {
+			t := p.peek()
+			return nil, &Error{Line: t.line, Col: t.col, Msg: "unterminated block"}
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.next() // }
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case p.at("var"):
+		p.next()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect("="); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &VarStmt{Name: name.text, Init: init, Line: t.line}, nil
+
+	case p.at("if"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept("else") {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: t.line}, nil
+
+	case p.at("while"):
+		p.next()
+		if _, err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+
+	case p.at("return"):
+		p.next()
+		var val Expr
+		if !p.at(";") {
+			var err error
+			val, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Val: val, Line: t.line}, nil
+
+	case p.at("fence"):
+		p.next()
+		if _, err := p.expect(";"); err != nil {
+			return nil, err
+		}
+		return &FenceStmt{Line: t.line}, nil
+	}
+
+	// Assignment, array store, or expression statement.
+	if t.kind == tokIdent {
+		name := p.next()
+		switch {
+		case p.accept("="):
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: name.text, Val: val, Line: t.line}, nil
+		case p.at("["):
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("="); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return &StoreStmt{Arr: name.text, Idx: idx, Val: val, Line: t.line}, nil
+		case p.at("("):
+			// Call statement: rewind to parse as an expression.
+			p.pos--
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			return &ExprStmt{X: x, Line: t.line}, nil
+		}
+		return nil, &Error{Line: t.line, Col: t.col, Msg: "expected statement after identifier " + name.text}
+	}
+	return nil, &Error{Line: t.line, Col: t.col, Msg: "expected statement, found " + t.String()}
+}
+
+// Binary operator precedence, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(level int) (Expr, error) {
+	if level == len(precLevels) {
+		return p.parseUnary()
+	}
+	x, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.at(op) {
+				t := p.next()
+				y, err := p.parseBin(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				x = &BinExpr{Op: op, X: x, Y: y, Line: t.line}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if p.at("-") || p.at("~") || p.at("!") {
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnExpr{Op: t.text, X: x, Line: t.line}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return &NumExpr{Val: t.num, Line: t.line}, nil
+	case t.kind == tokIdent:
+		p.next()
+		switch {
+		case p.at("("):
+			p.next()
+			call := &CallExpr{Name: t.text, Line: t.line}
+			for !p.at(")") {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if _, err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		case p.at("["):
+			p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			return &IndexExpr{Arr: t.text, Idx: idx, Line: t.line}, nil
+		}
+		return &IdentExpr{Name: t.text, Line: t.line}, nil
+	case p.at("("):
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(")")
+		return x, err
+	}
+	return nil, &Error{Line: t.line, Col: t.col, Msg: "expected expression, found " + t.String()}
+}

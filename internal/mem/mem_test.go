@@ -1,0 +1,284 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLabelLatticeBasics(t *testing.T) {
+	if !Public.IsPublic() || Public.IsSecret() {
+		t.Fatal("Public must be bottom")
+	}
+	if Secret.IsPublic() || !Secret.IsSecret() {
+		t.Fatal("Secret must be above bottom")
+	}
+	if got := Public.Join(Secret); got != Secret {
+		t.Fatalf("pub ⊔ sec = %v, want sec", got)
+	}
+	if !Public.FlowsTo(Secret) {
+		t.Fatal("pub ⊑ sec must hold")
+	}
+	if Secret.FlowsTo(Public) {
+		t.Fatal("sec ⊑ pub must not hold")
+	}
+}
+
+func TestPrincipalDistinct(t *testing.T) {
+	a, b := Principal(3), Principal(7)
+	if a == b {
+		t.Fatal("distinct principals must differ")
+	}
+	j := a.Join(b)
+	if !a.FlowsTo(j) || !b.FlowsTo(j) {
+		t.Fatal("join must be an upper bound")
+	}
+	if j.FlowsTo(a) || j.FlowsTo(b) {
+		t.Fatal("join of incomparable labels must be strictly above both")
+	}
+}
+
+func TestPrincipalPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Principal(64) must panic")
+		}
+	}()
+	Principal(64)
+}
+
+func TestLabelString(t *testing.T) {
+	cases := map[Label]string{
+		Public:                          "pub",
+		Secret:                          "sec",
+		Principal(1):                    "sec{1}",
+		Principal(1).Join(Secret):       "sec{0,1}",
+		Principal(5).Join(Principal(9)): "sec{5,9}",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%#x.String() = %q, want %q", uint64(l), got, want)
+		}
+	}
+}
+
+// Property: Join is a commutative, associative, idempotent upper bound
+// — i.e. Label really is a join semilattice.
+func TestLabelSemilatticeProperties(t *testing.T) {
+	comm := func(a, b uint64) bool {
+		x, y := Label(a), Label(b)
+		return x.Join(y) == y.Join(x)
+	}
+	assoc := func(a, b, c uint64) bool {
+		x, y, z := Label(a), Label(b), Label(c)
+		return x.Join(y).Join(z) == x.Join(y.Join(z))
+	}
+	idem := func(a uint64) bool {
+		x := Label(a)
+		return x.Join(x) == x
+	}
+	upper := func(a, b uint64) bool {
+		x, y := Label(a), Label(b)
+		j := x.Join(y)
+		return x.FlowsTo(j) && y.FlowsTo(j)
+	}
+	for name, f := range map[string]any{"comm": comm, "assoc": assoc, "idem": idem, "upper": upper} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestJoinAll(t *testing.T) {
+	if JoinAll() != Public {
+		t.Fatal("empty join must be bottom")
+	}
+	if JoinAll(Public, Secret, Principal(2)) != Secret.Join(Principal(2)) {
+		t.Fatal("JoinAll must fold Join")
+	}
+}
+
+func TestValueBasics(t *testing.T) {
+	v := Sec(42)
+	if !v.IsSecret() || v.W != 42 {
+		t.Fatalf("Sec(42) = %v", v)
+	}
+	if got := Pub(9).String(); got != "9pub" {
+		t.Fatalf("String = %q, want 9pub", got)
+	}
+	if Pub(1).Raise(Secret) != Sec(1) {
+		t.Fatal("Raise must join labels")
+	}
+	if Pub(1).WithLabel(Secret) != Sec(1) {
+		t.Fatal("WithLabel must replace the label")
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := NewMemory()
+	if v, err := m.Read(0x40); err != nil || v != Pub(0) {
+		t.Fatalf("unmapped read = %v, %v; want 0pub", v, err)
+	}
+	m.Write(0x40, Sec(7))
+	v, err := m.Read(0x40)
+	if err != nil || v != Sec(7) {
+		t.Fatalf("read-after-write = %v, %v", v, err)
+	}
+	if !m.Contains(0x40) || m.Contains(0x41) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestStrictMemoryRejectsWildReads(t *testing.T) {
+	m := NewStrictMemory()
+	if _, err := m.Read(0x99); err == nil {
+		t.Fatal("strict memory must reject unmapped reads")
+	}
+	m.Write(0x99, Pub(1))
+	if _, err := m.Read(0x99); err != nil {
+		t.Fatalf("mapped read failed: %v", err)
+	}
+	if !m.Strict() {
+		t.Fatal("Strict() must report true")
+	}
+}
+
+func TestMemoryCloneIsDeep(t *testing.T) {
+	m := NewMemory()
+	m.Write(1, Pub(10))
+	c := m.Clone()
+	c.Write(1, Pub(20))
+	if v, _ := m.Read(1); v != Pub(10) {
+		t.Fatal("clone must not alias the original")
+	}
+	if v, _ := c.Read(1); v != Pub(20) {
+		t.Fatal("clone write lost")
+	}
+}
+
+func TestMemoryRegionAndAddresses(t *testing.T) {
+	m := NewMemory()
+	m.WriteRegion(0x44, []Value{Pub(1), Pub(2), Pub(3)})
+	want := []Word{0x44, 0x45, 0x46}
+	got := m.Addresses()
+	if len(got) != len(want) {
+		t.Fatalf("addresses = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("addresses = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMemoryLowEquiv(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	a.Write(1, Pub(5))
+	a.Write(2, Sec(10))
+	b.Write(1, Pub(5))
+	b.Write(2, Sec(99)) // secrets may differ
+	if !a.LowEquiv(b) {
+		t.Fatal("memories differing only in secrets must be low-equivalent")
+	}
+	b.Write(1, Pub(6))
+	if a.LowEquiv(b) {
+		t.Fatal("public disagreement must break low-equivalence")
+	}
+	b.Write(1, Pub(5))
+	b.Write(3, Pub(0))
+	if a.LowEquiv(b) {
+		t.Fatal("domain mismatch must break low-equivalence")
+	}
+	// Label mismatch at same word also breaks it.
+	c := NewMemory()
+	c.Write(1, Pub(5))
+	c.Write(2, Pub(10))
+	if a.LowEquiv(c) {
+		t.Fatal("label mismatch must break low-equivalence")
+	}
+}
+
+func TestMemoryEqual(t *testing.T) {
+	a, b := NewMemory(), NewMemory()
+	a.Write(1, Sec(5))
+	b.Write(1, Sec(5))
+	if !a.Equal(b) {
+		t.Fatal("equal memories")
+	}
+	b.Write(1, Sec(6))
+	if a.Equal(b) {
+		t.Fatal("differing secrets are not Equal (≈ is exact)")
+	}
+}
+
+func TestRegisterFile(t *testing.T) {
+	f := NewRegisterFile()
+	if f.Read(3) != Pub(0) {
+		t.Fatal("unmapped register must read as 0pub")
+	}
+	f.Write(3, Sec(8))
+	if f.Read(3) != Sec(8) {
+		t.Fatal("read-after-write")
+	}
+	c := f.Clone()
+	c.Write(3, Pub(1))
+	if f.Read(3) != Sec(8) {
+		t.Fatal("clone aliases")
+	}
+	regs := f.Registers()
+	if len(regs) != 1 || regs[0] != 3 {
+		t.Fatalf("Registers = %v", regs)
+	}
+}
+
+func TestRegisterFileLowEquiv(t *testing.T) {
+	a, b := NewRegisterFile(), NewRegisterFile()
+	a.Write(1, Sec(1))
+	b.Write(1, Sec(2))
+	if !a.LowEquiv(b) {
+		t.Fatal("secret registers may differ under ≃pub")
+	}
+	b.Write(2, Pub(1))
+	if a.LowEquiv(b) {
+		t.Fatal("a public nonzero vs implicit zero must break ≃pub")
+	}
+	a.Write(2, Pub(1))
+	if !a.LowEquiv(b) || !a.Equal(b) == a.LowEquiv(b) && false {
+		t.Fatal("restored equivalence")
+	}
+	if a.Equal(b) {
+		t.Fatal("secret words differ, Equal must be false")
+	}
+	b.Write(1, Sec(1))
+	if !a.Equal(b) {
+		t.Fatal("Equal after matching secrets")
+	}
+}
+
+// Property: LowEquiv is reflexive and symmetric on randomly generated
+// memories.
+func TestLowEquivReflexiveSymmetric(t *testing.T) {
+	gen := func(seed uint64) *Memory {
+		m := NewMemory()
+		x := seed
+		for i := 0; i < 16; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			l := Public
+			if x&1 == 1 {
+				l = Secret
+			}
+			m.Write(Word(i), V(x>>8, l))
+		}
+		return m
+	}
+	f := func(seed uint64) bool {
+		m := gen(seed)
+		n := gen(seed ^ 0xdeadbeef)
+		if !m.LowEquiv(m) {
+			return false
+		}
+		return m.LowEquiv(n) == n.LowEquiv(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,208 @@
+package mem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Memory is the labeled data memory µ : V ⇀ V of a configuration: a
+// sparse, word-granular map from addresses to labeled values. Reads of
+// unmapped addresses return a labeled zero by default (the machine is
+// total over data addresses, like a zero-filled address space), unless
+// the memory is constructed Strict, in which case they are errors —
+// strict mode is what the test suites use to catch wild reads early.
+type Memory struct {
+	cells  map[Word]Value
+	strict bool
+}
+
+// NewMemory returns an empty, non-strict memory.
+func NewMemory() *Memory { return &Memory{cells: make(map[Word]Value)} }
+
+// NewStrictMemory returns an empty memory whose reads of unmapped
+// addresses fail.
+func NewStrictMemory() *Memory {
+	return &Memory{cells: make(map[Word]Value), strict: true}
+}
+
+// Strict reports whether unmapped reads are errors.
+func (m *Memory) Strict() bool { return m.strict }
+
+// Read returns µ(a). For non-strict memories, unmapped addresses read
+// as Pub(0).
+func (m *Memory) Read(a Word) (Value, error) {
+	if v, ok := m.cells[a]; ok {
+		return v, nil
+	}
+	if m.strict {
+		return Value{}, fmt.Errorf("mem: read of unmapped address %#x", a)
+	}
+	return Pub(0), nil
+}
+
+// Write sets µ(a) = v.
+func (m *Memory) Write(a Word, v Value) { m.cells[a] = v }
+
+// Contains reports whether a is mapped.
+func (m *Memory) Contains(a Word) bool {
+	_, ok := m.cells[a]
+	return ok
+}
+
+// Len returns the number of mapped cells.
+func (m *Memory) Len() int { return len(m.cells) }
+
+// Clone returns a deep copy. Step rules never mutate a shared memory;
+// the machine clones lazily at rollback boundaries and the SCT checker
+// clones per low-equivalent run.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{cells: make(map[Word]Value, len(m.cells)), strict: m.strict}
+	for a, v := range m.cells {
+		c.cells[a] = v
+	}
+	return c
+}
+
+// Addresses returns the mapped addresses in increasing order.
+func (m *Memory) Addresses() []Word {
+	out := make([]Word, 0, len(m.cells))
+	for a := range m.cells {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WriteRegion maps len(vs) consecutive words starting at base.
+func (m *Memory) WriteRegion(base Word, vs []Value) {
+	for i, v := range vs {
+		m.cells[base+Word(i)] = v
+	}
+}
+
+// LowEquiv reports µ ≃pub µ′: the two memories agree on their public
+// cells — same mapped domain, same labels everywhere, and equal words
+// wherever the label is public.
+func (m *Memory) LowEquiv(o *Memory) bool {
+	if len(m.cells) != len(o.cells) {
+		return false
+	}
+	for a, v := range m.cells {
+		w, ok := o.cells[a]
+		if !ok || v.L != w.L {
+			return false
+		}
+		if v.L.IsPublic() && v.W != w.W {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports exact equality of the two memories (domain, words,
+// labels). It implements the memory half of the ≈ equivalence used by
+// the sequential-consistency theorems.
+func (m *Memory) Equal(o *Memory) bool {
+	if len(m.cells) != len(o.cells) {
+		return false
+	}
+	for a, v := range m.cells {
+		if w, ok := o.cells[a]; !ok || w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// RegisterFile is the register map ρ : R ⇀ V. Register names are
+// small integers; the assembler maps symbolic names (ra, rb, …, rsp,
+// rtmp) onto them.
+type RegisterFile struct {
+	regs map[Reg]Value
+}
+
+// Reg names a register.
+type Reg uint16
+
+// Conventional registers used by the call/return expansion of
+// Appendix A. RSP is the stack pointer; RTMP is the scratch register
+// the ret expansion loads the return address into.
+const (
+	RSP  Reg = 0xFFFE
+	RTMP Reg = 0xFFFF
+)
+
+// NewRegisterFile returns an empty register file.
+func NewRegisterFile() *RegisterFile {
+	return &RegisterFile{regs: make(map[Reg]Value)}
+}
+
+// Read returns ρ(r); unmapped registers read as Pub(0), mirroring a
+// zeroed register file at power-on.
+func (f *RegisterFile) Read(r Reg) Value {
+	if v, ok := f.regs[r]; ok {
+		return v
+	}
+	return Pub(0)
+}
+
+// Write sets ρ(r) = v.
+func (f *RegisterFile) Write(r Reg, v Value) { f.regs[r] = v }
+
+// Clone returns a deep copy of the register file.
+func (f *RegisterFile) Clone() *RegisterFile {
+	c := &RegisterFile{regs: make(map[Reg]Value, len(f.regs))}
+	for r, v := range f.regs {
+		c.regs[r] = v
+	}
+	return c
+}
+
+// Registers returns the mapped registers in increasing order.
+func (f *RegisterFile) Registers() []Reg {
+	out := make([]Reg, 0, len(f.regs))
+	for r := range f.regs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LowEquiv reports ρ ≃pub ρ′ over the union of both domains (an
+// unmapped register is Pub(0), so it participates as a public zero).
+func (f *RegisterFile) LowEquiv(o *RegisterFile) bool {
+	seen := make(map[Reg]bool, len(f.regs)+len(o.regs))
+	for r := range f.regs {
+		seen[r] = true
+	}
+	for r := range o.regs {
+		seen[r] = true
+	}
+	for r := range seen {
+		v, w := f.Read(r), o.Read(r)
+		if v.L != w.L {
+			return false
+		}
+		if v.L.IsPublic() && v.W != w.W {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports exact equality over the union of both domains.
+func (f *RegisterFile) Equal(o *RegisterFile) bool {
+	seen := make(map[Reg]bool, len(f.regs)+len(o.regs))
+	for r := range f.regs {
+		seen[r] = true
+	}
+	for r := range o.regs {
+		seen[r] = true
+	}
+	for r := range seen {
+		if f.Read(r) != o.Read(r) {
+			return false
+		}
+	}
+	return true
+}

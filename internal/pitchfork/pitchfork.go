@@ -1,0 +1,143 @@
+// Package pitchfork is the paper's detector (§4): it checks programs
+// for speculative constant-time (SCT) violations by executing them
+// under worst-case attacker schedules and flagging observations whose
+// labels are secret.
+//
+// Two modes are provided:
+//
+//   - Concrete mode (Analyze): the program runs on the reference
+//     machine of internal/core with concrete, labeled inputs, explored
+//     under the DT(n) schedules of internal/sched. Sound and exact for
+//     the given inputs.
+//
+//   - Symbolic mode (AnalyzeSymbolic): public inputs may be
+//     unconstrained symbolic variables (the attacker-controlled index
+//     of the Kocher cases); execution tracks path conditions, forks at
+//     input-dependent branches, and concretizes addresses with a
+//     leak-hunting policy, mirroring how the original tool drives the
+//     angr engine. Like the original, symbolic mode exercises a subset
+//     of the semantics: conditional-branch speculation and
+//     store-forwarding variants (Spectre v1, v1.1, v4), with indirect
+//     jumps and returns followed architecturally.
+package pitchfork
+
+import (
+	"fmt"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/sched"
+)
+
+// Options configure an analysis.
+type Options struct {
+	// Bound is the speculation bound. The paper's evaluation uses 250
+	// without forwarding-hazard detection and 20 with it (§4.2.1).
+	Bound int
+	// ForwardHazards enables Spectre v4 style schedules.
+	ForwardHazards bool
+	// MaxStates and MaxRetired bound the exploration (0 = defaults).
+	MaxStates  int
+	MaxRetired int
+	// StopAtFirst stops at the first violation.
+	StopAtFirst bool
+	// SolverSeed seeds the symbolic solver (symbolic mode only).
+	SolverSeed int64
+}
+
+// The two bounds of the paper's evaluation procedure (§4.2.1).
+const (
+	// BoundNoHazards is the speculation bound used without
+	// forwarding-hazard detection.
+	BoundNoHazards = 250
+	// BoundWithHazards is the reduced bound that keeps hazard-aware
+	// analysis tractable.
+	BoundWithHazards = 20
+)
+
+// Violation is a detected SCT violation.
+type Violation struct {
+	Obs      core.Observation
+	Kind     sched.VariantKind
+	Schedule core.Schedule // concrete mode only
+	Trace    core.Trace
+	Model    map[string]uint64 // symbolic mode: a witness assignment
+	PC       uint64
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	s := fmt.Sprintf("%s: %s", v.Kind, v.Obs)
+	if len(v.Model) > 0 {
+		s += fmt.Sprintf(" (witness %v)", v.Model)
+	}
+	return s
+}
+
+// Report aggregates an analysis run.
+type Report struct {
+	Violations []Violation
+	States     int
+	Paths      int
+	Truncated  bool
+	Mode       string
+}
+
+// SecretFree reports whether the program was found SCT-clean at the
+// analyzed bound.
+func (r Report) SecretFree() bool { return len(r.Violations) == 0 }
+
+// Summary renders a one-line result.
+func (r Report) Summary() string {
+	if r.SecretFree() {
+		return fmt.Sprintf("clean (%s mode, %d states, %d paths)", r.Mode, r.States, r.Paths)
+	}
+	return fmt.Sprintf("%d violation(s) (%s mode, %d states, %d paths); first: %s",
+		len(r.Violations), r.Mode, r.States, r.Paths, r.Violations[0])
+}
+
+// Analyze runs the concrete-mode detector on a machine configuration.
+func Analyze(m *core.Machine, opts Options) (Report, error) {
+	e, err := sched.NewExplorer(sched.Options{
+		Bound:          opts.Bound,
+		ForwardHazards: opts.ForwardHazards,
+		MaxStates:      opts.MaxStates,
+		MaxRetired:     opts.MaxRetired,
+		StopAtFirst:    opts.StopAtFirst,
+		KeepSchedules:  true,
+	})
+	if err != nil {
+		return Report{}, err
+	}
+	res := e.Explore(m)
+	rep := Report{States: res.States, Paths: res.Paths, Truncated: res.Truncated, Mode: "concrete"}
+	for _, v := range res.Violations {
+		rep.Violations = append(rep.Violations, Violation{
+			Obs:      v.Obs,
+			Kind:     v.Kind,
+			Schedule: v.Schedule,
+			Trace:    v.Trace,
+			PC:       uint64(v.PC),
+		})
+	}
+	return rep, nil
+}
+
+// AnalyzeProcedure runs the paper's two-phase evaluation procedure
+// (§4.2.1) on a machine: first without forwarding-hazard detection at
+// BoundNoHazards; if clean, again with hazard detection at
+// BoundWithHazards. The returned reports correspond to the two phases
+// (the second is zero-valued if the first already flagged).
+func AnalyzeProcedure(mk func() *core.Machine, opts Options) (phase1, phase2 Report, err error) {
+	o1 := opts
+	o1.Bound = BoundNoHazards
+	o1.ForwardHazards = false
+	phase1, err = Analyze(mk(), o1)
+	if err != nil || !phase1.SecretFree() {
+		return phase1, Report{}, err
+	}
+	o2 := opts
+	o2.Bound = BoundWithHazards
+	o2.ForwardHazards = true
+	phase2, err = Analyze(mk(), o2)
+	return phase1, phase2, err
+}

@@ -1,0 +1,835 @@
+package pitchfork
+
+import (
+	"fmt"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+	"pitchfork/internal/sched"
+	"pitchfork/internal/symx"
+)
+
+// SymMachine is the initial configuration for a symbolic analysis:
+// registers and memory hold symbolic expressions; unconstrained
+// attacker inputs and secrets are symx variables.
+type SymMachine struct {
+	Prog *isa.Program
+	Regs map[isa.Reg]symx.Expr
+	Mem  *symx.Memory
+	PC   isa.Addr
+}
+
+// NewSym builds a symbolic initial configuration from a program,
+// seeding memory with the (labeled, concrete) data image.
+func NewSym(prog *isa.Program) *SymMachine {
+	m := &SymMachine{
+		Prog: prog,
+		Regs: make(map[isa.Reg]symx.Expr),
+		Mem:  symx.NewMemory(),
+		PC:   prog.Entry,
+	}
+	for a, v := range prog.Data {
+		m.Mem.Write(a, symx.C(v))
+	}
+	return m
+}
+
+// SetReg binds a register to an expression.
+func (m *SymMachine) SetReg(r isa.Reg, e symx.Expr) *SymMachine {
+	m.Regs[r] = e
+	return m
+}
+
+// SetMem binds a memory cell to an expression.
+func (m *SymMachine) SetMem(a mem.Word, e symx.Expr) *SymMachine {
+	m.Mem.Write(a, e)
+	return m
+}
+
+// symTransient mirrors the subset of transient instructions the
+// symbolic executor handles (Table 1 minus aliasing prediction, like
+// the original tool).
+type symTransient struct {
+	kind core.TKind
+	dst  isa.Reg
+	op   isa.Opcode
+	args []isa.Operand
+
+	val      symx.Expr // resolved value
+	fromLoad bool
+	dep      int
+	dataAddr mem.Word
+	pp       isa.Addr
+
+	guess, tTrue, tFalse isa.Addr
+	target               isa.Addr
+
+	src       isa.Operand
+	valKnown  bool
+	sval      symx.Expr
+	addrKnown bool
+	saddr     mem.Word
+	saddrL    mem.Label
+}
+
+func (t *symTransient) resolved() bool {
+	switch t.kind {
+	case core.TValue, core.TJump, core.TFence, core.TCall, core.TRet:
+		return true
+	case core.TStore:
+		return t.valKnown && t.addrKnown
+	}
+	return false
+}
+
+func (t *symTransient) assigns(r isa.Reg) bool {
+	switch t.kind {
+	case core.TOp, core.TValue, core.TLoad:
+		return t.dst == r
+	}
+	return false
+}
+
+// symState is one node of the symbolic exploration tree.
+type symState struct {
+	regs    map[isa.Reg]symx.Expr
+	mem     *symx.Memory
+	pc      isa.Addr
+	buf     []*symTransient
+	base    int
+	rsb     *core.RSB
+	pcond   symx.PathCondition
+	trace   core.Trace
+	retired int
+	pending map[int]bool
+}
+
+func (s *symState) clone() *symState {
+	c := &symState{
+		regs:    make(map[isa.Reg]symx.Expr, len(s.regs)),
+		mem:     s.mem.Clone(),
+		pc:      s.pc,
+		buf:     make([]*symTransient, len(s.buf)),
+		base:    s.base,
+		rsb:     s.rsb.Clone(),
+		pcond:   s.pcond, // shared immutable prefix
+		trace:   append(core.Trace(nil), s.trace...),
+		retired: s.retired,
+		pending: make(map[int]bool, len(s.pending)),
+	}
+	for r, e := range s.regs {
+		c.regs[r] = e
+	}
+	for i, t := range s.buf {
+		cp := *t
+		c.buf[i] = &cp
+	}
+	for k, v := range s.pending {
+		c.pending[k] = v
+	}
+	return c
+}
+
+func (s *symState) min() int    { return s.base }
+func (s *symState) max() int    { return s.base + len(s.buf) - 1 }
+func (s *symState) empty() bool { return len(s.buf) == 0 }
+func (s *symState) get(i int) (*symTransient, bool) {
+	if i < s.base || i >= s.base+len(s.buf) {
+		return nil, false
+	}
+	return s.buf[i-s.base], true
+}
+
+func (s *symState) append(t *symTransient) int {
+	s.buf = append(s.buf, t)
+	return s.base + len(s.buf) - 1
+}
+
+func (s *symState) truncateFrom(i int) {
+	if i <= s.base {
+		s.buf = s.buf[:0]
+		return
+	}
+	if i <= s.base+len(s.buf) {
+		s.buf = s.buf[:i-s.base]
+	}
+	s.rsb.Rollback(i)
+	s.pending = make(map[int]bool)
+}
+
+func (s *symState) popMinN(k int) {
+	s.buf = s.buf[k:]
+	s.base += k
+}
+
+func (s *symState) fenceBefore(i int) bool {
+	for j := s.base; j < i && j <= s.max(); j++ {
+		if t, _ := s.get(j); t != nil && t.kind == core.TFence {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveReg is the register resolve function lifted to expressions.
+func (s *symState) resolveReg(i int, r isa.Reg) (symx.Expr, bool) {
+	hi := s.max()
+	if i-1 < hi {
+		hi = i - 1
+	}
+	for j := hi; j >= s.base; j-- {
+		t, _ := s.get(j)
+		if t == nil || !t.assigns(r) {
+			continue
+		}
+		switch t.kind {
+		case core.TValue:
+			return t.val, true
+		default:
+			return nil, false
+		}
+	}
+	if e, ok := s.regs[r]; ok {
+		return e, true
+	}
+	return symx.CW(0), true
+}
+
+func (s *symState) resolveOperand(i int, o isa.Operand) (symx.Expr, bool) {
+	if !o.IsReg {
+		return symx.C(o.Imm), true
+	}
+	return s.resolveReg(i, o.Reg)
+}
+
+func (s *symState) resolveArgs(i int, os []isa.Operand) ([]symx.Expr, bool) {
+	out := make([]symx.Expr, len(os))
+	for k, o := range os {
+		e, ok := s.resolveOperand(i, o)
+		if !ok {
+			return nil, false
+		}
+		out[k] = e
+	}
+	return out, true
+}
+
+func addrExpr(args []symx.Expr) symx.Expr {
+	return symx.Apply(isa.OpAdd, args...)
+}
+
+// symbolicAnalyzer drives the DT(n) strategy over symbolic states.
+type symbolicAnalyzer struct {
+	prog   *isa.Program
+	opts   Options
+	solver *symx.Solver
+	concr  *symx.Concretizer
+	rep    *Report
+}
+
+// AnalyzeSymbolic runs the symbolic-mode detector.
+func AnalyzeSymbolic(m *SymMachine, opts Options) (Report, error) {
+	if opts.Bound < 1 {
+		return Report{}, fmt.Errorf("pitchfork: speculation bound must be positive, got %d", opts.Bound)
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = sched.DefaultMaxStates
+	}
+	if opts.MaxRetired == 0 {
+		opts.MaxRetired = sched.DefaultMaxRetired
+	}
+	solver := symx.NewSolver(opts.SolverSeed + 1)
+	a := &symbolicAnalyzer{
+		prog:   m.Prog,
+		opts:   opts,
+		solver: solver,
+		concr:  symx.NewConcretizer(solver),
+		rep:    &Report{Mode: "symbolic"},
+	}
+	root := &symState{
+		regs:    make(map[isa.Reg]symx.Expr, len(m.Regs)),
+		mem:     m.Mem.Clone(),
+		pc:      m.PC,
+		base:    1,
+		rsb:     core.NewRSB(core.RSBAttackerChoice),
+		pending: make(map[int]bool),
+	}
+	for r, e := range m.Regs {
+		root.regs[r] = e
+	}
+	stack := []*symState{root}
+	for len(stack) > 0 {
+		if a.rep.States >= opts.MaxStates {
+			a.rep.Truncated = true
+			break
+		}
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		a.rep.States++
+		done, forks := a.advance(st)
+		if done {
+			a.rep.Paths++
+			if opts.StopAtFirst && len(a.rep.Violations) > 0 {
+				break
+			}
+			continue
+		}
+		stack = append(stack, forks...)
+	}
+	return *a.rep, nil
+}
+
+func (a *symbolicAnalyzer) flag(st *symState, at int) {
+	v := Violation{
+		Obs:   st.trace[at],
+		Trace: append(core.Trace(nil), st.trace[:at+1]...),
+		Kind:  a.classify(st),
+		PC:    uint64(st.pc),
+	}
+	if env, ok := a.solver.Solve(st.pcond); ok {
+		v.Model = make(map[string]uint64, len(env))
+		for k, w := range env {
+			v.Model[k] = w
+		}
+	}
+	a.rep.Violations = append(a.rep.Violations, v)
+}
+
+func (a *symbolicAnalyzer) classify(st *symState) sched.VariantKind {
+	brInFlight, staleWindow, fwdSecret := false, false, false
+	for _, t := range st.buf {
+		switch t.kind {
+		case core.TBr:
+			brInFlight = true
+		case core.TStore:
+			if !t.addrKnown {
+				staleWindow = true
+			}
+		case core.TValue:
+			if t.fromLoad && t.dep != core.NoDep && t.val != nil && t.val.Label().IsSecret() {
+				fwdSecret = true
+			}
+		}
+	}
+	switch {
+	case brInFlight && fwdSecret:
+		return sched.VariantV11
+	case brInFlight:
+		return sched.VariantV1
+	case staleWindow:
+		return sched.VariantV4
+	case st.empty():
+		return sched.VariantSeq
+	default:
+		return sched.VariantSeq
+	}
+}
+
+// advance performs one strategy decision; mirrors sched.Explorer.
+func (a *symbolicAnalyzer) advance(st *symState) (bool, []*symState) {
+	if i := st.trace.FirstSecret(); i >= 0 {
+		a.flag(st, i)
+		return true, nil
+	}
+	_, fetchable := a.prog.At(st.pc)
+	if (st.empty() && !fetchable) || st.retired >= a.opts.MaxRetired {
+		return true, nil
+	}
+
+	// Fetch phase.
+	if len(st.buf) < a.opts.Bound && fetchable {
+		in, _ := a.prog.At(st.pc)
+		switch in.Kind {
+		case isa.KBr:
+			tArm, fArm := st, st.clone()
+			tArm.fetchBranch(in, true)
+			fArm.fetchBranch(in, false)
+			return false, []*symState{tArm, fArm}
+		case isa.KJmpi:
+			if args, ok := st.resolveArgs(st.max()+1, in.Args); ok {
+				target := addrExpr(args)
+				if tv, ok := target.Concrete(); ok {
+					st.append(&symTransient{kind: core.TJmpi, args: in.Args, guess: tv.W})
+					st.pc = tv.W
+					return false, []*symState{st}
+				}
+				// Symbolic indirect target: outside the tool's subset.
+				return true, nil
+			}
+			// Operands pending: execute below first.
+		case isa.KCall:
+			i := st.append(&symTransient{kind: core.TCall})
+			st.append(&symTransient{kind: core.TOp, dst: mem.RSP, op: isa.OpSucc, args: []isa.Operand{isa.R(mem.RSP)}})
+			st.append(&symTransient{
+				kind: core.TStore, src: isa.Imm(mem.Pub(in.RetPt)),
+				valKnown: true, sval: symx.CW(in.RetPt),
+				args: []isa.Operand{isa.R(mem.RSP)},
+			})
+			st.rsb.Push(i, in.RetPt)
+			st.pc = in.Callee
+			return false, []*symState{st}
+		case isa.KRet:
+			target, ok := st.rsb.Top()
+			if !ok {
+				// Architectural prediction through the stack slot.
+				target, ok = a.peekRet(st)
+				if !ok {
+					break // execute pending work first
+				}
+			}
+			i := st.append(&symTransient{kind: core.TRet})
+			st.append(&symTransient{kind: core.TLoad, dst: mem.RTMP, args: []isa.Operand{isa.R(mem.RSP)}, pp: st.pc})
+			st.append(&symTransient{kind: core.TOp, dst: mem.RSP, op: isa.OpPred, args: []isa.Operand{isa.R(mem.RSP)}})
+			st.append(&symTransient{kind: core.TJmpi, args: []isa.Operand{isa.R(mem.RTMP)}, guess: target})
+			st.rsb.Pop(i)
+			st.pc = target
+			return false, []*symState{st}
+		default:
+			st.fetchSimple(in)
+			return false, []*symState{st}
+		}
+	}
+
+	// Execute phase: oldest actionable first.
+	if forks, acted := a.executePhase(st); acted {
+		return false, forks
+	}
+
+	// Force phase on the oldest instruction.
+	i := st.min()
+	t, ok := st.get(i)
+	if !ok {
+		return true, nil
+	}
+	if t.resolved() {
+		if a.retire(st) {
+			return false, []*symState{st}
+		}
+		// A call/ret marker retires only with its whole expansion
+		// resolved: force the first unresolved member.
+		for j := i + 1; j <= st.max(); j++ {
+			u, ok := st.get(j)
+			if !ok || u.resolved() {
+				continue
+			}
+			return a.forceOne(st, j, u)
+		}
+		return true, nil
+	}
+	return a.forceOne(st, i, t)
+}
+
+// forceOne makes progress on an unresolved instruction regardless of
+// the deferral rules; control-flow instructions may fork on symbolic
+// conditions.
+func (a *symbolicAnalyzer) forceOne(st *symState, i int, t *symTransient) (bool, []*symState) {
+	switch t.kind {
+	case core.TBr, core.TJmpi:
+		return a.execControl(st, i)
+	case core.TOp:
+		if a.execOp(st, i) {
+			return false, []*symState{st}
+		}
+	case core.TStore:
+		if !t.valKnown {
+			if a.execStoreValue(st, i) {
+				return false, []*symState{st}
+			}
+			return true, nil
+		}
+		if a.execStoreAddr(st, i) {
+			return false, []*symState{st}
+		}
+	case core.TLoad:
+		if a.execLoad(st, i) {
+			return false, []*symState{st}
+		}
+	}
+	return true, nil
+}
+
+func (st *symState) fetchBranch(in isa.Instr, taken bool) {
+	guess := in.False
+	if taken {
+		guess = in.True
+	}
+	st.append(&symTransient{kind: core.TBr, op: in.Op, args: in.Args, guess: guess, tTrue: in.True, tFalse: in.False})
+	st.pc = guess
+}
+
+func (st *symState) fetchSimple(in isa.Instr) {
+	switch in.Kind {
+	case isa.KOp:
+		st.append(&symTransient{kind: core.TOp, dst: in.Dst, op: in.Op, args: in.Args})
+	case isa.KLoad:
+		st.append(&symTransient{kind: core.TLoad, dst: in.Dst, args: in.Args, pp: st.pc})
+	case isa.KStore:
+		t := &symTransient{kind: core.TStore, src: in.Src, args: in.Args}
+		if !in.Src.IsReg {
+			t.valKnown = true
+			t.sval = symx.C(in.Src.Imm)
+		}
+		st.append(t)
+	case isa.KFence:
+		st.append(&symTransient{kind: core.TFence})
+	}
+	st.pc = in.Next
+}
+
+func (a *symbolicAnalyzer) peekRet(st *symState) (isa.Addr, bool) {
+	sp, ok := st.resolveReg(st.max()+1, mem.RSP)
+	if !ok {
+		return 0, false
+	}
+	sv, ok := sp.Concrete()
+	if !ok {
+		return 0, false
+	}
+	tv, ok := st.mem.Read(sv.W).Concrete()
+	if !ok {
+		return 0, false
+	}
+	return tv.W, true
+}
+
+func (a *symbolicAnalyzer) executePhase(st *symState) ([]*symState, bool) {
+	for i := st.min(); i <= st.max(); i++ {
+		t, _ := st.get(i)
+		if st.fenceBefore(i) {
+			break
+		}
+		switch t.kind {
+		case core.TOp:
+			if a.execOp(st, i) {
+				return []*symState{st}, true
+			}
+		case core.TJmpi:
+			// Eager, like the concrete explorer: opens the Fig. 10
+			// stale-return window.
+			if done, forks := a.execControl(st, i); !done {
+				return forks, true
+			}
+		case core.TBr:
+			continue // branches resolve in the second pass below
+		case core.TStore:
+			if !t.valKnown {
+				if a.execStoreValue(st, i) {
+					return []*symState{st}, true
+				}
+				continue
+			}
+			if !t.addrKnown && !a.opts.ForwardHazards {
+				if a.execStoreAddr(st, i) {
+					return []*symState{st}, true
+				}
+			}
+			continue
+		case core.TLoad:
+			if forks, acted := a.loadFork(st, i); acted {
+				return forks, true
+			}
+		}
+	}
+	// Second pass: resolve pending branches young-to-old, keeping the
+	// oldest delayed (see the concrete explorer).
+	oldest := oldestPendingBranchSym(st)
+	for i := st.max(); i > oldest && oldest != 0; i-- {
+		t, ok := st.get(i)
+		if !ok || t.kind != core.TBr || st.fenceBefore(i) {
+			continue
+		}
+		if done, forks := a.execControl(st, i); !done {
+			return forks, true
+		}
+	}
+	return nil, false
+}
+
+func (a *symbolicAnalyzer) loadFork(st *symState, i int) ([]*symState, bool) {
+	var pendingStores []int
+	if a.opts.ForwardHazards && !st.pending[i] {
+		for j := st.min(); j < i; j++ {
+			if s, ok := st.get(j); ok && s.kind == core.TStore && !s.addrKnown && s.valKnown {
+				pendingStores = append(pendingStores, j)
+			}
+		}
+	}
+	if len(pendingStores) == 0 {
+		if a.execLoad(st, i) {
+			return []*symState{st}, true
+		}
+		return nil, false
+	}
+	var forks []*symState
+	now := st.clone()
+	now.pending[i] = true
+	if a.execLoad(now, i) {
+		forks = append(forks, now)
+	}
+	for _, j := range pendingStores {
+		arm := st.clone()
+		if a.execStoreAddr(arm, j) {
+			forks = append(forks, arm)
+		}
+	}
+	return forks, len(forks) > 0
+}
+
+func (a *symbolicAnalyzer) execOp(st *symState, i int) bool {
+	t, _ := st.get(i)
+	args, ok := st.resolveArgs(i, t.args)
+	if !ok {
+		return false
+	}
+	st.buf[i-st.base] = &symTransient{kind: core.TValue, dst: t.dst, val: symx.Apply(t.op, args...)}
+	return true
+}
+
+// execControl resolves a delayed branch or indirect jump; symbolic
+// conditions fork into both feasible worlds.
+func (a *symbolicAnalyzer) execControl(st *symState, i int) (bool, []*symState) {
+	t, _ := st.get(i)
+	if t.kind == core.TJmpi {
+		args, ok := st.resolveArgs(i, t.args)
+		if !ok {
+			return true, nil
+		}
+		tv, ok := addrExpr(args).Concrete()
+		if !ok {
+			return true, nil // symbolic indirect target: out of subset
+		}
+		a.settleControl(st, i, tv.W, addrExpr(args).Label())
+		return false, []*symState{st}
+	}
+	args, ok := st.resolveArgs(i, t.args)
+	if !ok {
+		return true, nil
+	}
+	cond := symx.Apply(t.op, args...)
+	if cv, ok := cond.Concrete(); ok {
+		actual := t.tFalse
+		if cv.W != 0 {
+			actual = t.tTrue
+		}
+		a.settleControl(st, i, actual, cv.L)
+		return false, []*symState{st}
+	}
+	// Input-dependent branch: fork on the condition's truth.
+	var forks []*symState
+	pcT := st.pcond.With(symx.Constraint{E: cond, Truthy: true})
+	pcF := st.pcond.With(symx.Constraint{E: cond, Truthy: false})
+	if a.solver.Feasible(pcT) {
+		arm := st.clone()
+		arm.pcond = pcT
+		a.settleControl(arm, i, t.tTrue, cond.Label())
+		forks = append(forks, arm)
+	}
+	if a.solver.Feasible(pcF) {
+		arm := st.clone()
+		arm.pcond = pcF
+		a.settleControl(arm, i, t.tFalse, cond.Label())
+		forks = append(forks, arm)
+	}
+	if len(forks) == 0 {
+		return true, nil
+	}
+	return false, forks
+}
+
+// settleControl installs the resolved jump, rolling back on a wrong
+// guess, and emits the jump observation with the condition's label.
+func (a *symbolicAnalyzer) settleControl(st *symState, i int, actual isa.Addr, l mem.Label) {
+	t, _ := st.get(i)
+	if actual == t.guess {
+		st.buf[i-st.base] = &symTransient{kind: core.TJump, target: actual}
+		st.trace = append(st.trace, core.JumpObs(actual, l))
+		return
+	}
+	st.truncateFrom(i)
+	st.append(&symTransient{kind: core.TJump, target: actual})
+	st.pc = actual
+	st.trace = append(st.trace, core.RollbackObs(), core.JumpObs(actual, l))
+}
+
+func (a *symbolicAnalyzer) execStoreValue(st *symState, i int) bool {
+	t, _ := st.get(i)
+	v, ok := st.resolveOperand(i, t.src)
+	if !ok {
+		return false
+	}
+	t.valKnown = true
+	t.sval = v
+	return true
+}
+
+func (a *symbolicAnalyzer) execStoreAddr(st *symState, i int) bool {
+	t, _ := st.get(i)
+	args, ok := st.resolveArgs(i, t.args)
+	if !ok {
+		return false
+	}
+	ae := addrExpr(args)
+	aw, ok := a.concretizeStore(st, i, ae)
+	if !ok {
+		return false
+	}
+	if _, concrete := ae.Concrete(); !concrete {
+		st.pcond = st.pcond.With(symx.Constraint{E: symx.Apply(isa.OpEq, ae, symx.CW(aw)), Truthy: true})
+	}
+	l := ae.Label()
+	// Hazard scan over later resolved loads (store-execute-addr-*).
+	hazardAt, restart := 0, isa.Addr(0)
+	for k := i + 1; k <= st.max(); k++ {
+		lv, _ := st.get(k)
+		if lv == nil || lv.kind != core.TValue || !lv.fromLoad {
+			continue
+		}
+		if (lv.dataAddr == aw && lv.dep < i) || (lv.dep == i && lv.dataAddr != aw) {
+			hazardAt, restart = k, lv.pp
+			break
+		}
+	}
+	t.addrKnown = true
+	t.saddr = aw
+	t.saddrL = l
+	if hazardAt == 0 {
+		st.trace = append(st.trace, core.FwdObs(aw, l))
+		return true
+	}
+	st.truncateFrom(hazardAt)
+	st.pc = restart
+	st.trace = append(st.trace, core.RollbackObs(), core.FwdObs(aw, l))
+	return true
+}
+
+func (a *symbolicAnalyzer) execLoad(st *symState, i int) bool {
+	t, _ := st.get(i)
+	args, ok := st.resolveArgs(i, t.args)
+	if !ok {
+		return false
+	}
+	ae := addrExpr(args)
+	aw, ok := a.concr.Concretize(ae, st.pcond, st.mem)
+	if !ok {
+		return false
+	}
+	if _, concrete := ae.Concrete(); !concrete {
+		st.pcond = st.pcond.With(symx.Constraint{E: symx.Apply(isa.OpEq, ae, symx.CW(aw)), Truthy: true})
+	}
+	l := ae.Label()
+	// Most recent prior store with a resolved matching address.
+	for j := i - 1; j >= st.min(); j-- {
+		s, _ := st.get(j)
+		if s == nil || s.kind != core.TStore || !s.addrKnown || s.saddr != aw {
+			continue
+		}
+		if !s.valKnown {
+			return false // stall until the store's data resolves
+		}
+		st.buf[i-st.base] = &symTransient{
+			kind: core.TValue, dst: t.dst, val: s.sval,
+			fromLoad: true, dep: j, dataAddr: aw, pp: t.pp,
+		}
+		st.trace = append(st.trace, core.FwdObs(aw, l))
+		return true
+	}
+	st.buf[i-st.base] = &symTransient{
+		kind: core.TValue, dst: t.dst, val: st.mem.Read(aw),
+		fromLoad: true, dep: core.NoDep, dataAddr: aw, pp: t.pp,
+	}
+	st.trace = append(st.trace, core.ReadObs(aw, l))
+	return true
+}
+
+func (a *symbolicAnalyzer) retire(st *symState) bool {
+	i := st.min()
+	t, ok := st.get(i)
+	if !ok {
+		return false
+	}
+	switch t.kind {
+	case core.TValue:
+		st.regs[t.dst] = t.val
+		st.popMinN(1)
+		st.retired++
+		return true
+	case core.TJump, core.TFence:
+		st.popMinN(1)
+		st.retired++
+		return true
+	case core.TStore:
+		st.mem.Write(t.saddr, t.sval)
+		st.trace = append(st.trace, core.WriteObs(t.saddr, t.saddrL))
+		st.popMinN(1)
+		st.retired++
+		return true
+	case core.TCall:
+		rsp, ok1 := st.get(i + 1)
+		sr, ok2 := st.get(i + 2)
+		if !ok1 || !ok2 || rsp.kind != core.TValue || sr.kind != core.TStore || !sr.resolved() {
+			return false
+		}
+		st.regs[mem.RSP] = rsp.val
+		st.mem.Write(sr.saddr, sr.sval)
+		st.trace = append(st.trace, core.WriteObs(sr.saddr, sr.saddrL))
+		st.popMinN(3)
+		st.retired++
+		return true
+	case core.TRet:
+		tmp, ok1 := st.get(i + 1)
+		rsp, ok2 := st.get(i + 2)
+		jmp, ok3 := st.get(i + 3)
+		if !ok1 || !ok2 || !ok3 || tmp.kind != core.TValue || rsp.kind != core.TValue || jmp.kind != core.TJump {
+			return false
+		}
+		st.regs[mem.RSP] = rsp.val
+		st.popMinN(4)
+		st.retired++
+		return true
+	}
+	return false
+}
+
+// concretizeStore pins a store's symbolic address. The leak-hunting
+// policy differs from loads: a store is interesting when it *aliases*
+// a later load (the Spectre v1.1 shape of Figure 6), so the
+// concretizer first tries the addresses of younger loads in the
+// buffer, then secret cells, then any model — mirroring how angr's
+// pluggable concretization strategies are used for targeted hunting.
+func (a *symbolicAnalyzer) concretizeStore(st *symState, i int, ae symx.Expr) (mem.Word, bool) {
+	if v, ok := ae.Concrete(); ok {
+		return v.W, true
+	}
+	seen := make(map[mem.Word]bool)
+	for k := i + 1; k <= st.max(); k++ {
+		ld, _ := st.get(k)
+		if ld == nil || ld.kind != core.TLoad {
+			continue
+		}
+		largs, ok := st.resolveArgs(k, ld.args)
+		if !ok {
+			continue
+		}
+		lv, ok := addrExpr(largs).Concrete()
+		if !ok || seen[lv.W] {
+			continue
+		}
+		seen[lv.W] = true
+		if _, ok := a.solver.SolveWith(st.pcond, ae, lv.W); ok {
+			return lv.W, true
+		}
+	}
+	return a.concr.Concretize(ae, st.pcond, st.mem)
+}
+
+// oldestPendingBranchSym mirrors the concrete explorer's rule: only
+// the oldest unresolved branch is delayed.
+func oldestPendingBranchSym(st *symState) int {
+	for j := st.min(); j <= st.max(); j++ {
+		if t, ok := st.get(j); ok && t.kind == core.TBr {
+			return j
+		}
+	}
+	return 0
+}

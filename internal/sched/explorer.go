@@ -1,0 +1,572 @@
+// Package sched implements Pitchfork's worst-case schedule generation
+// (§4.1 of the paper, formalized as the tool schedules DT(n) of
+// Def. B.18) as a depth-first exploration over the speculative machine.
+//
+// The strategy, per the paper:
+//
+//   - fetch eagerly until the reorder buffer reaches the speculation
+//     bound, retiring only as necessary to fetch;
+//   - at each conditional branch, fork schedules for both guesses and
+//     execute the *oldest* in-flight branch as late as possible,
+//     maximizing its misprediction window (younger branches nested in
+//     that window resolve eagerly once other work drains, so their
+//     observations and rollbacks land inside it);
+//   - execute indirect jumps as soon as their targets resolve — the
+//     tool follows computed control flow architecturally, which is
+//     also what opens the speculative stale-return window (Fig. 10);
+//   - with forwarding-hazard detection enabled, defer store address
+//     resolution and fork each load over all forwarding outcomes: read
+//     (possibly stale) memory now, or first resolve the address of one
+//     of the pending stores;
+//   - execute everything else eagerly and in program order.
+//
+// Soundness (Thm. B.20): a secret-labeled observation under any
+// schedule implies one under a schedule in this set, so exploring only
+// these schedules suffices to detect SCT violations up to the bound.
+package sched
+
+import (
+	"fmt"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+)
+
+// Options configure an exploration.
+type Options struct {
+	// Bound is the speculation bound: the maximum reorder-buffer size,
+	// hence the maximum speculation depth. The paper runs 250 without
+	// forwarding-hazard detection and 20 with it.
+	Bound int
+	// ForwardHazards enables exploration of store-forwarding outcomes
+	// (Spectre v4 and the paper's "f" findings). Off, stores resolve
+	// addresses eagerly and only v1/v1.1 schedules are generated.
+	ForwardHazards bool
+	// MaxStates bounds the number of explored states (forked paths ×
+	// steps); 0 means DefaultMaxStates.
+	MaxStates int
+	// MaxRetired bounds retired instructions per path; 0 means
+	// DefaultMaxRetired.
+	MaxRetired int
+	// StopAtFirst stops the exploration at the first violation.
+	StopAtFirst bool
+	// KeepSchedules records the full directive schedule of each
+	// violation (memory-heavy for deep runs; on by default via
+	// Explore).
+	KeepSchedules bool
+}
+
+// DefaultMaxStates and DefaultMaxRetired are the exploration budgets
+// used when Options leaves them zero.
+const (
+	DefaultMaxStates  = 200_000
+	DefaultMaxRetired = 20_000
+)
+
+// Violation is one detected SCT violation: a secret-labeled
+// observation reachable under a worst-case schedule.
+type Violation struct {
+	Obs      core.Observation
+	Schedule core.Schedule // schedule prefix that produced it (if kept)
+	Trace    core.Trace    // observation trace up to and including Obs
+	Kind     VariantKind   // heuristic Spectre-variant classification
+	PC       isa.Addr      // program point of the machine when flagged
+}
+
+// String renders the violation compactly.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s at pc %d", v.Kind, v.Obs, v.PC)
+}
+
+// VariantKind classifies a violation by its microarchitectural cause.
+type VariantKind uint8
+
+const (
+	// VariantUnknown is reported when no classification rule applies.
+	VariantUnknown VariantKind = iota
+	// VariantV1 is classic bounds-check bypass: a leak while a
+	// conditional branch is still speculatively unresolved.
+	VariantV1
+	// VariantV11 is Spectre v1.1: the leaked data was forwarded from a
+	// speculative store.
+	VariantV11
+	// VariantV4 is speculative store bypass: a load executed ahead of
+	// an unresolved store address and read stale data.
+	VariantV4
+	// VariantSeq marks a leak that occurs with no speculation in
+	// flight: the program is not even sequentially constant-time.
+	VariantSeq
+)
+
+// String names the variant.
+func (k VariantKind) String() string {
+	switch k {
+	case VariantV1:
+		return "spectre-v1"
+	case VariantV11:
+		return "spectre-v1.1"
+	case VariantV4:
+		return "spectre-v4"
+	case VariantSeq:
+		return "sequential-ct-violation"
+	default:
+		return "unclassified"
+	}
+}
+
+// Result aggregates an exploration.
+type Result struct {
+	Violations []Violation
+	// States is the number of explored machine states.
+	States int
+	// Paths is the number of completed exploration paths (halted,
+	// budget-exhausted, or stopped at a violation).
+	Paths int
+	// Truncated reports whether the MaxStates budget was hit.
+	Truncated bool
+}
+
+// SecretFree reports whether no violation was found.
+func (r Result) SecretFree() bool { return len(r.Violations) == 0 }
+
+// Explorer walks the worst-case schedules of a machine.
+type Explorer struct {
+	opts Options
+}
+
+// NewExplorer validates options and returns an explorer.
+func NewExplorer(opts Options) (*Explorer, error) {
+	if opts.Bound < 1 {
+		return nil, fmt.Errorf("sched: speculation bound must be positive, got %d", opts.Bound)
+	}
+	if opts.MaxStates == 0 {
+		opts.MaxStates = DefaultMaxStates
+	}
+	if opts.MaxRetired == 0 {
+		opts.MaxRetired = DefaultMaxRetired
+	}
+	return &Explorer{opts: opts}, nil
+}
+
+// state is one node of the exploration tree.
+type state struct {
+	m     *core.Machine
+	sched core.Schedule
+	trace core.Trace
+	// loadChoicesDone marks load indices whose forwarding fork has
+	// already been taken in this state (so re-deciding after a partial
+	// store resolution re-forks correctly but not infinitely).
+	pendingFwd map[int]bool
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		m:          s.m.Clone(),
+		sched:      append(core.Schedule(nil), s.sched...),
+		trace:      append(core.Trace(nil), s.trace...),
+		pendingFwd: make(map[int]bool, len(s.pendingFwd)),
+	}
+	for k, v := range s.pendingFwd {
+		c.pendingFwd[k] = v
+	}
+	return c
+}
+
+// Explore runs the worst-case schedules from the machine's current
+// configuration. The machine itself is not mutated.
+func (e *Explorer) Explore(m *core.Machine) Result {
+	var res Result
+	root := &state{m: m.Clone(), pendingFwd: make(map[int]bool)}
+	stack := []*state{root}
+	for len(stack) > 0 {
+		if res.States >= e.opts.MaxStates {
+			res.Truncated = true
+			break
+		}
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.States++
+
+		done, forks := e.advance(st, &res)
+		if done {
+			res.Paths++
+			if e.opts.StopAtFirst && len(res.Violations) > 0 {
+				break
+			}
+			continue
+		}
+		stack = append(stack, forks...)
+	}
+	return res
+}
+
+// advance pushes st forward by one strategy decision. It returns
+// done=true when the path is finished, otherwise the successor states
+// (one for deterministic steps, several at fork points).
+func (e *Explorer) advance(st *state, res *Result) (bool, []*state) {
+	m := st.m
+
+	// Leak check on everything observed so far.
+	if i := st.trace.FirstSecret(); i >= 0 {
+		v := Violation{
+			Obs:   st.trace[i],
+			Trace: append(core.Trace(nil), st.trace[:i+1]...),
+			Kind:  classify(m, st.trace, i),
+			PC:    m.PC,
+		}
+		if e.opts.KeepSchedules {
+			v.Schedule = append(core.Schedule(nil), st.sched...)
+		}
+		res.Violations = append(res.Violations, v)
+		return true, nil
+	}
+	if m.Halted() || m.Retired >= e.opts.MaxRetired {
+		return true, nil
+	}
+
+	// Fetch phase: eager until the bound.
+	if m.Buf.Len() < e.opts.Bound {
+		if in, ok := m.Prog.At(m.PC); ok {
+			switch in.Kind {
+			case isa.KBr:
+				// Fork both guesses; both arms delay branch execution.
+				a, b := st, st.clone()
+				if e.step(a, core.FetchGuess(true)) && e.step(b, core.FetchGuess(false)) {
+					return false, []*state{a, b}
+				}
+				return true, nil
+			case isa.KJmpi:
+				// The tool follows the architecturally correct target
+				// (it does not model indirect-jump speculation, §4).
+				if target, ok := peekJmpi(m, in); ok {
+					if e.step(st, core.FetchTarget(target)) {
+						return false, []*state{st}
+					}
+					return true, nil
+				}
+				// Target operands pending: fall through to execution.
+			case isa.KRet:
+				if _, ok := m.RSB.Top(); !ok {
+					// The tool does not model RSB underflow attacks;
+					// predict through the in-memory return address.
+					if target, ok := peekRet(m); ok {
+						if e.step(st, core.FetchTarget(target)) {
+							return false, []*state{st}
+						}
+						return true, nil
+					}
+					break // execute pending work first
+				}
+				if e.step(st, core.Fetch()) {
+					return false, []*state{st}
+				}
+				return true, nil
+			default:
+				if e.step(st, core.Fetch()) {
+					return false, []*state{st}
+				}
+				return true, nil
+			}
+		}
+	}
+
+	// Execute phase: oldest actionable instruction first.
+	if forks, acted := e.executePhase(st); acted {
+		return false, forks
+	}
+
+	// Nothing else is actionable: retire if possible, otherwise force
+	// the delayed control flow / store addresses, oldest first.
+	i := m.Buf.Min()
+	t, ok := m.Buf.Get(i)
+	if !ok {
+		// Empty buffer and nothing fetchable at bound>0: halt was
+		// handled above, so this is a wedged path (e.g. jmpi whose
+		// operands can never resolve).
+		return true, nil
+	}
+	if t.Resolved() {
+		if e.step(st, core.Retire()) {
+			return false, []*state{st}
+		}
+		// A call/ret marker retires only with its whole expansion
+		// resolved: force the first unresolved member.
+		for j := i + 1; j <= m.Buf.Max(); j++ {
+			u, ok := m.Buf.Get(j)
+			if !ok || u.Resolved() {
+				continue
+			}
+			if e.forceOne(st, j, u) {
+				return false, []*state{st}
+			}
+			break
+		}
+		return true, nil
+	}
+	if e.forceOne(st, i, t) {
+		return false, []*state{st}
+	}
+	return true, nil
+}
+
+// forceOne issues the directive that makes progress on an unresolved
+// instruction regardless of the deferral rules — used when nothing can
+// proceed otherwise (delayed branches at the head, deferred store
+// addresses blocking retirement, call/ret expansion members).
+func (e *Explorer) forceOne(st *state, i int, t *core.Transient) bool {
+	switch t.Kind {
+	case core.TBr, core.TJmpi, core.TLoad, core.TOp:
+		return e.step(st, core.Execute(i))
+	case core.TStore:
+		if !t.ValKnown {
+			return e.step(st, core.ExecuteValue(i))
+		}
+		return e.step(st, core.ExecuteAddr(i))
+	}
+	return false
+}
+
+// executePhase scans the buffer in ascending order for the first
+// eagerly executable instruction, applying the deferral rules for
+// branches (always delayed) and store addresses (delayed under
+// forwarding-hazard mode). Loads fork over forwarding outcomes.
+func (e *Explorer) executePhase(st *state) ([]*state, bool) {
+	m := st.m
+	for _, i := range m.Buf.Indices() {
+		t, _ := m.Buf.Get(i)
+		if m.Buf.FenceBefore(i) {
+			break // nothing beyond a pending fence may execute
+		}
+		switch t.Kind {
+		case core.TOp:
+			if e.step(st, core.Execute(i)) {
+				return []*state{st}, true
+			}
+		case core.TJmpi:
+			// Indirect jumps execute as soon as their target operands
+			// resolve: the tool follows computed targets architecturally
+			// (no jmpi speculation), and eager resolution is what opens
+			// the speculative stale-return window of the Fig. 10 gadget
+			// — the transient return must happen *before* the pending
+			// store address resolves and flags the hazard.
+			if e.step(st, core.Execute(i)) {
+				return []*state{st}, true
+			}
+		case core.TBr:
+			continue // branches resolve in the second pass below
+		case core.TStore:
+			if !t.ValKnown {
+				if e.step(st, core.ExecuteValue(i)) {
+					return []*state{st}, true
+				}
+				continue
+			}
+			if !t.AddrKnown && !e.opts.ForwardHazards {
+				if e.step(st, core.ExecuteAddr(i)) {
+					return []*state{st}, true
+				}
+			}
+			continue
+		case core.TLoad:
+			forks, acted := e.loadFork(st, i)
+			if acted {
+				return forks, true
+			}
+		}
+	}
+	// Second pass: with all non-branch work drained, resolve pending
+	// branches young-to-old — the oldest in-flight branch is delayed
+	// to the last possible moment (maximizing its misprediction
+	// window), while branches nested inside that window resolve
+	// eagerly so their own observations and rollbacks land within it.
+	oldest := oldestPendingBranch(m)
+	for i := m.Buf.Max(); i > oldest && oldest != 0; i-- {
+		t, ok := m.Buf.Get(i)
+		if !ok || t.Kind != core.TBr || m.Buf.FenceBefore(i) {
+			continue
+		}
+		if e.step(st, core.Execute(i)) {
+			return []*state{st}, true
+		}
+	}
+	return nil, false
+}
+
+// loadFork decides how the load at index i resolves. Without
+// forwarding hazards, or with no pending store addresses below it, the
+// load simply executes. Otherwise the fork of Def. B.18 applies: one
+// arm executes the load immediately (reading stale memory or
+// forwarding from an already-resolved store), and one arm per pending
+// store resolves that store's address first, then re-decides.
+func (e *Explorer) loadFork(st *state, i int) ([]*state, bool) {
+	m := st.m
+	var pending []int
+	if e.opts.ForwardHazards && !st.pendingFwd[i] {
+		for j := m.Buf.Min(); j < i; j++ {
+			if s, ok := m.Buf.Get(j); ok && s.Kind == core.TStore && !s.AddrKnown && s.ValKnown {
+				pending = append(pending, j)
+			}
+		}
+	}
+	if len(pending) == 0 {
+		if e.step(st, core.Execute(i)) {
+			return []*state{st}, true
+		}
+		return nil, false
+	}
+	var forks []*state
+	// Arm 0: execute the load now, skipping the pending stores.
+	now := st.clone()
+	now.pendingFwd[i] = true
+	if e.step(now, core.Execute(i)) {
+		forks = append(forks, now)
+	}
+	// One arm per pending store: resolve its address first. The load
+	// re-decides on the next visit (and may fork again over the
+	// remaining pending stores).
+	for _, j := range pending {
+		arm := st.clone()
+		if e.step(arm, core.ExecuteAddr(j)) {
+			forks = append(forks, arm)
+		}
+	}
+	return forks, len(forks) > 0
+}
+
+// step applies d to the state, appending schedule and trace; it
+// reports whether the directive applied. Stalls end the path quietly;
+// faults are treated the same (the path cannot continue). A rollback
+// invalidates the load-fork bookkeeping, since buffer indices are
+// reused by re-fetched instructions.
+func (e *Explorer) step(st *state, d core.Directive) bool {
+	obs, err := st.m.Step(d)
+	if err != nil {
+		return false
+	}
+	st.sched = append(st.sched, d)
+	st.trace = append(st.trace, obs...)
+	for _, o := range obs {
+		if o.Kind == core.ORollback {
+			st.pendingFwd = make(map[int]bool)
+			break
+		}
+	}
+	return true
+}
+
+func peekJmpi(m *core.Machine, in isa.Instr) (isa.Addr, bool) {
+	vals, ok := m.Buf.ResolveOperands(m.Buf.Max()+1, m.Regs, in.Args)
+	if !ok {
+		return 0, false
+	}
+	v, err := isa.EvalAddr(m.AddrMode, vals)
+	if err != nil {
+		return 0, false
+	}
+	return v.W, true
+}
+
+func peekRet(m *core.Machine) (isa.Addr, bool) {
+	sp, ok := m.Buf.ResolveOperands(m.Buf.Max()+1, m.Regs, []isa.Operand{isa.R(mem.RSP)})
+	if !ok {
+		return 0, false
+	}
+	v, err := m.Mem.Read(sp[0].W)
+	if err != nil {
+		return 0, false
+	}
+	return v.W, true
+}
+
+// classify heuristically attributes a violation to a Spectre variant
+// from the machine state at detection time.
+func classify(m *core.Machine, trace core.Trace, at int) VariantKind {
+	brInFlight := false
+	staleWindow := false
+	for _, i := range m.Buf.Indices() {
+		t, _ := m.Buf.Get(i)
+		switch t.Kind {
+		case core.TBr:
+			brInFlight = true
+		case core.TStore:
+			if !t.AddrKnown {
+				staleWindow = true
+			}
+		}
+	}
+	// Forwarded secret ⇒ v1.1 family if speculating on a branch.
+	fwdSecret := false
+	for k := 0; k <= at; k++ {
+		if trace[k].Kind == core.OFwd && trace[k].Secret() {
+			fwdSecret = true
+		}
+	}
+	// A secret load value forwarded from a buffered store also marks
+	// v1.1: detect via a buffered resolved load with a store dep.
+	for _, i := range m.Buf.Indices() {
+		t, _ := m.Buf.Get(i)
+		if t.Kind == core.TValue && t.FromLoad && t.Dep != core.NoDep && t.Val.IsSecret() {
+			fwdSecret = true
+		}
+	}
+	switch {
+	case brInFlight && fwdSecret:
+		return VariantV11
+	case brInFlight:
+		return VariantV1
+	case staleWindow:
+		return VariantV4
+	case m.Buf.Empty() || allResolved(m):
+		return VariantSeq
+	default:
+		return VariantUnknown
+	}
+}
+
+func allResolved(m *core.Machine) bool {
+	for _, i := range m.Buf.Indices() {
+		t, _ := m.Buf.Get(i)
+		if !t.Resolved() {
+			return false
+		}
+	}
+	return true
+}
+
+// Explore is the package-level convenience entry point with schedule
+// recording enabled.
+func Explore(m *core.Machine, bound int, forwardHazards bool) (Result, error) {
+	e, err := NewExplorer(Options{Bound: bound, ForwardHazards: forwardHazards, KeepSchedules: true})
+	if err != nil {
+		return Result{}, err
+	}
+	return e.Explore(m), nil
+}
+
+// CountSchedules runs an exploration purely to count completed paths —
+// the |DT(n)| growth measurement behind the paper's bound-20-vs-250
+// tractability discussion.
+func CountSchedules(m *core.Machine, bound int, forwardHazards bool, maxStates int) (paths, states int, truncated bool, err error) {
+	e, err := NewExplorer(Options{
+		Bound:          bound,
+		ForwardHazards: forwardHazards,
+		MaxStates:      maxStates,
+	})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	res := e.Explore(m)
+	return res.Paths, res.States, res.Truncated, nil
+}
+
+// oldestPendingBranch returns the lowest buffer index holding an
+// unresolved conditional branch, or 0 if none.
+func oldestPendingBranch(m *core.Machine) int {
+	for _, j := range m.Buf.Indices() {
+		if t, ok := m.Buf.Get(j); ok && t.Kind == core.TBr {
+			return j
+		}
+	}
+	return 0
+}

@@ -1,0 +1,122 @@
+package symx
+
+import (
+	"fmt"
+	"sort"
+
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+)
+
+func eqOp() isa.Opcode { return isa.OpEq }
+
+// Memory is a symbolic data memory: a word-granular map from concrete
+// addresses to symbolic expressions. Addresses are always concrete —
+// symbolic addresses are concretized before access, mirroring angr's
+// behaviour as described in §4.2 of the paper ("angr concretizes
+// addresses for memory operations instead of keeping them symbolic").
+type Memory struct {
+	cells map[mem.Word]Expr
+}
+
+// NewMemory returns an empty symbolic memory.
+func NewMemory() *Memory { return &Memory{cells: make(map[mem.Word]Expr)} }
+
+// Read returns the expression at a; unmapped cells read as public 0.
+func (m *Memory) Read(a mem.Word) Expr {
+	if e, ok := m.cells[a]; ok {
+		return e
+	}
+	return CW(0)
+}
+
+// Write sets the cell at a.
+func (m *Memory) Write(a mem.Word, e Expr) { m.cells[a] = e }
+
+// Contains reports whether a is mapped.
+func (m *Memory) Contains(a mem.Word) bool {
+	_, ok := m.cells[a]
+	return ok
+}
+
+// Clone returns a copy (expressions are immutable and shared).
+func (m *Memory) Clone() *Memory {
+	c := &Memory{cells: make(map[mem.Word]Expr, len(m.cells))}
+	for a, e := range m.cells {
+		c.cells[a] = e
+	}
+	return c
+}
+
+// Addresses returns the mapped addresses in increasing order.
+func (m *Memory) Addresses() []mem.Word {
+	out := make([]mem.Word, 0, len(m.cells))
+	for a := range m.cells {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SecretAddresses returns the mapped addresses whose contents carry a
+// secret label, in increasing order; the concretizer targets these.
+func (m *Memory) SecretAddresses() []mem.Word {
+	out := make([]mem.Word, 0)
+	for a, e := range m.cells {
+		if e.Label().IsSecret() {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Concretizer pins symbolic addresses to concrete words, in the style
+// of angr's concretization strategies. The policy is leak-hunting: if
+// the address expression can reach a secret-bearing cell under the
+// path condition, pick that cell; otherwise take any model. This is
+// what makes unconstrained attacker inputs (the Kocher cases' x) find
+// their out-of-bounds values.
+type Concretizer struct {
+	Solver *Solver
+	// MaxTargets bounds how many secret cells are tried per query.
+	MaxTargets int
+}
+
+// NewConcretizer returns a concretizer over the given solver.
+func NewConcretizer(s *Solver) *Concretizer {
+	return &Concretizer{Solver: s, MaxTargets: 64}
+}
+
+// Concretize picks a concrete address for e under pc. The boolean
+// reports success; failure means even plain satisfiability of pc with
+// any address value was not established within budget.
+func (c *Concretizer) Concretize(e Expr, pc PathCondition, m *Memory) (mem.Word, bool) {
+	if v, ok := e.Concrete(); ok {
+		return v.W, true
+	}
+	// Leak-hunting pass: try to land on a secret cell.
+	targets := m.SecretAddresses()
+	if len(targets) > c.MaxTargets {
+		targets = targets[:c.MaxTargets]
+	}
+	for _, a := range targets {
+		if _, ok := c.Solver.SolveWith(pc, e, a); ok {
+			return a, true
+		}
+	}
+	// Otherwise: any model.
+	if env, ok := c.Solver.Solve(pc); ok {
+		return e.Eval(env).W, true
+	}
+	return 0, false
+}
+
+// String renders the memory for debugging.
+func (m *Memory) String() string {
+	s := ""
+	for _, a := range m.Addresses() {
+		s += fmt.Sprintf("%#x ↦ %s\n", a, m.cells[a])
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+package symx
+
+import (
+	"math/rand"
+
+	"pitchfork/internal/mem"
+)
+
+// Constraint asserts that an expression is truthy (nonzero) or falsy
+// (zero).
+type Constraint struct {
+	E      Expr
+	Truthy bool
+}
+
+// Holds evaluates the constraint under env.
+func (c Constraint) Holds(env Env) bool {
+	v := c.E.Eval(env)
+	return (v.W != 0) == c.Truthy
+}
+
+// String renders the constraint.
+func (c Constraint) String() string {
+	if c.Truthy {
+		return c.E.String() + " ≠ 0"
+	}
+	return c.E.String() + " = 0"
+}
+
+// PathCondition is a conjunction of constraints accumulated along an
+// execution path.
+type PathCondition []Constraint
+
+// With returns the path condition extended by one constraint (the
+// receiver is not mutated; prefixes stay shareable across forks).
+func (p PathCondition) With(c Constraint) PathCondition {
+	out := make(PathCondition, len(p)+1)
+	copy(out, p)
+	out[len(p)] = c
+	return out
+}
+
+// Holds evaluates the conjunction under env.
+func (p PathCondition) Holds(env Env) bool {
+	for _, c := range p {
+		if !c.Holds(env) {
+			return false
+		}
+	}
+	return true
+}
+
+// Vars returns the free variables of the conjunction, sorted.
+func (p PathCondition) Vars() []string {
+	set := make(map[string]bool)
+	for _, c := range p {
+		c.E.vars(set)
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Solver searches for satisfying assignments of path conditions. It is
+// a bounded heuristic: seeded candidate values, random probing, and
+// coordinate descent. Sound for SAT answers (a returned model always
+// satisfies the constraints); UNSAT answers are "unknown" and reported
+// as such.
+type Solver struct {
+	rng *rand.Rand
+	// Tries bounds random probes per query.
+	Tries int
+	// Seeds are the per-variable candidate words tried exhaustively
+	// for queries with few variables.
+	Seeds []mem.Word
+}
+
+// NewSolver returns a solver with a deterministic seed.
+func NewSolver(seed int64) *Solver {
+	return &Solver{
+		rng:   rand.New(rand.NewSource(seed)),
+		Tries: 4096,
+		Seeds: []mem.Word{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 31, 32, 63, 64, 100, 127, 128, 200, 255, 256, 1 << 12, 1 << 16, ^mem.Word(0), ^mem.Word(0) - 1, 1 << 63},
+	}
+}
+
+// Solve searches for a model of p. ok=false means no model was found
+// within the budget (which may be UNSAT or just hard).
+func (s *Solver) Solve(p PathCondition) (Env, bool) {
+	vars := p.Vars()
+	if len(vars) == 0 {
+		if p.Holds(Env{}) {
+			return Env{}, true
+		}
+		return nil, false
+	}
+	env := make(Env, len(vars))
+	for _, v := range vars {
+		env[v] = 0
+	}
+	if p.Holds(env) {
+		return env, true
+	}
+	// Exhaustive seed grid for small queries.
+	if len(vars) <= 2 {
+		if m, ok := s.grid(p, vars, env, 0); ok {
+			return m, true
+		}
+	} else {
+		// Coordinate pass: fix others at 0, sweep each var over seeds.
+		for _, v := range vars {
+			for _, w := range s.Seeds {
+				env[v] = w
+				if p.Holds(env) {
+					return env, true
+				}
+			}
+			env[v] = 0
+		}
+	}
+	// Random probing.
+	for t := 0; t < s.Tries; t++ {
+		for _, v := range vars {
+			switch s.rng.Intn(3) {
+			case 0:
+				env[v] = s.Seeds[s.rng.Intn(len(s.Seeds))]
+			case 1:
+				env[v] = mem.Word(s.rng.Intn(512))
+			default:
+				env[v] = mem.Word(s.rng.Uint64())
+			}
+		}
+		if p.Holds(env) {
+			return env, true
+		}
+	}
+	return nil, false
+}
+
+func (s *Solver) grid(p PathCondition, vars []string, env Env, i int) (Env, bool) {
+	if i == len(vars) {
+		if p.Holds(env) {
+			m := make(Env, len(env))
+			for k, v := range env {
+				m[k] = v
+			}
+			return m, true
+		}
+		return nil, false
+	}
+	for _, w := range s.Seeds {
+		env[vars[i]] = w
+		if m, ok := s.grid(p, vars, env, i+1); ok {
+			return m, true
+		}
+	}
+	env[vars[i]] = 0
+	return nil, false
+}
+
+// SolveWith searches for a model of p that additionally pins e to the
+// word want — the primitive behind targeted address concretization.
+func (s *Solver) SolveWith(p PathCondition, e Expr, want mem.Word) (Env, bool) {
+	pinned := p.With(Constraint{E: Apply(eqOp(), e, C(mem.Pub(want))), Truthy: true})
+	return s.Solve(pinned)
+}
+
+// Feasible reports whether a model of p was found within budget.
+func (s *Solver) Feasible(p PathCondition) bool {
+	_, ok := s.Solve(p)
+	return ok
+}

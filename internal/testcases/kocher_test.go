@@ -1,0 +1,167 @@
+package testcases
+
+import (
+	"testing"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/pitchfork"
+)
+
+// TestKocherV1All: every Kocher case is flagged by the concrete
+// detector at the paper's phase-1 settings.
+func TestKocherV1All(t *testing.T) {
+	for _, c := range Kocher() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m, err := c.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := pitchfork.Analyze(m, pitchfork.Options{
+				Bound:       pitchfork.BoundNoHazards,
+				StopAtFirst: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.SecretFree() {
+				t.Fatalf("%s must be flagged", c.Name)
+			}
+		})
+	}
+}
+
+// TestKocherSequentialExpectations: the corpus metadata matches the
+// machine — cases marked SequentialLeak produce secret observations in
+// their canonical sequential trace, the rest do not.
+func TestKocherSequentialExpectations(t *testing.T) {
+	for _, c := range Kocher() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m, err := c.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, trace, err := core.RunSequential(m, 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := trace.HasSecret(); got != c.SequentialLeak {
+				t.Fatalf("%s: sequential leak = %t, metadata says %t (trace %s)",
+					c.Name, got, c.SequentialLeak, trace)
+			}
+		})
+	}
+}
+
+// TestSpeculativeOnlyV1: the paper's new suite leaks under speculation
+// but never sequentially.
+func TestSpeculativeOnlyV1(t *testing.T) {
+	for _, c := range SpecOnlyV1() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m, err := c.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, trace, err := core.RunSequential(m.Clone(), 100000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if trace.HasSecret() {
+				t.Fatalf("%s must be sequentially clean: %s", c.Name, trace)
+			}
+			rep, err := pitchfork.Analyze(m, pitchfork.Options{
+				Bound:       pitchfork.BoundNoHazards,
+				StopAtFirst: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.SecretFree() {
+				t.Fatalf("%s must be flagged speculatively", c.Name)
+			}
+		})
+	}
+}
+
+// TestV11Suite: store-variant cases, run per the §4.2.1 procedure —
+// forwarding-hazard members only appear in phase 2 at bound 20.
+func TestV11Suite(t *testing.T) {
+	for _, c := range V11() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m, err := c.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p1, err := pitchfork.Analyze(m.Clone(), pitchfork.Options{
+				Bound:       pitchfork.BoundNoHazards,
+				StopAtFirst: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.NeedsFwdHazards {
+				if !p1.SecretFree() {
+					t.Fatalf("%s should be clean without hazard detection", c.Name)
+				}
+				p2, err := pitchfork.Analyze(m, pitchfork.Options{
+					Bound:          pitchfork.BoundWithHazards,
+					ForwardHazards: true,
+					StopAtFirst:    true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p2.SecretFree() {
+					t.Fatalf("%s must be flagged with hazard detection", c.Name)
+				}
+				return
+			}
+			if p1.SecretFree() {
+				t.Fatalf("%s must be flagged in phase 1", c.Name)
+			}
+		})
+	}
+}
+
+// TestKocherSymbolic: a sample of cases under the symbolic detector
+// with x unconstrained — the witness model must pick an out-of-bounds
+// index.
+func TestKocherSymbolic(t *testing.T) {
+	sample := []int{0, 5, 6, 11} // kocher01, 06, 07, 12
+	all := Kocher()
+	for _, i := range sample {
+		c := all[i]
+		t.Run(c.Name, func(t *testing.T) {
+			sm, err := c.BuildSym()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := pitchfork.AnalyzeSymbolic(sm, pitchfork.Options{
+				Bound:       30,
+				StopAtFirst: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.SecretFree() {
+				t.Fatalf("%s must be flagged symbolically", c.Name)
+			}
+		})
+	}
+}
+
+// TestCorpusSizes documents the corpus shape the paper describes.
+func TestCorpusSizes(t *testing.T) {
+	if got := len(Kocher()); got != 15 {
+		t.Fatalf("Kocher corpus = %d cases, want 15", got)
+	}
+	if got := len(SpecOnlyV1()); got < 5 {
+		t.Fatalf("speculative-only suite = %d cases, want ≥5", got)
+	}
+	if got := len(V11()); got < 4 {
+		t.Fatalf("v1.1 suite = %d cases, want ≥4", got)
+	}
+}
