@@ -10,9 +10,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
-	"pitchfork/internal/core"
-	"pitchfork/internal/ct"
+	"pitchfork/spectre"
 )
 
 func main() {
@@ -27,29 +27,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	m := ct.ModeC
-	if *mode == "fact" {
-		m = ct.ModeFaCT
-	}
-	comp, err := ct.Compile(string(src), m)
+	m, err := spectre.ParseSourceMode(*mode)
 	if err != nil {
 		fatal(err)
 	}
-	for _, n := range comp.Prog.Points() {
-		in, _ := comp.Prog.At(n)
-		fmt.Printf("%4d: %s\n", n, in)
+	prog, err := spectre.CompileCTL(string(src), m)
+	if err != nil {
+		fatal(err)
 	}
+	fmt.Print(prog.Disassemble())
 	if !*run {
 		return
 	}
-	machine := core.New(comp.Prog)
-	if _, _, err := core.RunSequential(machine, 1_000_000); err != nil {
+	res, err := prog.Sequential(1_000_000)
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Println("-- globals after sequential execution --")
-	for name, addr := range comp.GlobalAddr {
-		v, _ := machine.Mem.Read(addr)
-		fmt.Printf("%12s @ %#x = %s\n", name, addr, v)
+	globals := prog.Globals()
+	names := make([]string, 0, len(globals))
+	for name := range globals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		addr := globals[name]
+		v, secret := res.Read(addr)
+		label := "pub"
+		if secret {
+			label = "sec"
+		}
+		fmt.Printf("%12s @ %#x = %d%s\n", name, addr, int64(v), label)
 	}
 }
 

@@ -3,20 +3,24 @@
 //
 // Usage:
 //
-//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] file.ctl
+//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] file.ctl
 //
 // Without -bound/-fwd the two-phase procedure runs: bound 250 without
-// forwarding-hazard detection, then bound 20 with it.
+// forwarding-hazard detection, then bound 20 with it. With -json the
+// stable machine-readable report schema is emitted instead of the
+// human-readable summary.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
-	"pitchfork/internal/core"
-	"pitchfork/internal/ct"
-	"pitchfork/internal/pitchfork"
+	"pitchfork/spectre"
 )
 
 func main() {
@@ -24,66 +28,120 @@ func main() {
 	bound := flag.Int("bound", 0, "speculation bound (0 = run the paper's two-phase procedure)")
 	fwd := flag.Bool("fwd", false, "enable forwarding-hazard detection (with -bound)")
 	all := flag.Bool("all", false, "report all violations, not just the first")
+	jsonOut := flag.Bool("json", false, "emit the machine-readable JSON report")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pitchfork [flags] file.ctl")
 		os.Exit(2)
 	}
+	if *bound < 0 {
+		fatal(fmt.Errorf("speculation bound must be positive, got %d", *bound))
+	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	m := ct.ModeC
-	if *mode == "fact" {
-		m = ct.ModeFaCT
-	}
-	comp, err := ct.Compile(string(src), m)
+	m, err := spectre.ParseSourceMode(*mode)
 	if err != nil {
 		fatal(err)
 	}
-	opts := pitchfork.Options{StopAtFirst: !*all}
+	prog, err := spectre.CompileCTL(string(src), m)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Interrupting the process (SIGINT) cancels the analysis and still
+	// reports the findings accumulated so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *bound > 0 {
-		opts.Bound = *bound
-		opts.ForwardHazards = *fwd
-		rep, err := pitchfork.Analyze(core.New(comp.Prog), opts)
+		an, err := spectre.New(
+			spectre.WithBound(*bound),
+			spectre.WithForwardHazards(*fwd),
+			spectre.WithStopAtFirst(!*all),
+		)
 		if err != nil {
 			fatal(err)
 		}
-		report(rep)
-		return
+		rep, err := an.Run(ctx, prog)
+		if rep == nil {
+			fatal(err)
+		}
+		// A non-nil report alongside an error means cancellation: the
+		// partial findings are reported, but the run must not pass as
+		// clean.
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pitchfork: analysis interrupted; results are partial:", err)
+		}
+		if *jsonOut {
+			emit(rep)
+			exitClean(rep.SecretFree && err == nil)
+		}
+		fmt.Println(rep.Summary())
+		if !rep.SecretFree {
+			reportFindings(rep)
+		}
+		exitClean(rep.SecretFree && err == nil)
 	}
-	p1, p2, err := pitchfork.AnalyzeProcedure(func() *core.Machine { return core.New(comp.Prog) }, opts)
+
+	an, err := spectre.New(spectre.WithStopAtFirst(!*all))
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("phase 1 (bound %d, no hazard detection): %s\n", pitchfork.BoundNoHazards, p1.Summary())
-	if !p1.SecretFree() {
-		reportViolations(p1)
+	pr, err := an.RunProcedure(ctx, prog)
+	if pr == nil || pr.Phase1 == nil {
+		fatal(err)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pitchfork: analysis interrupted; results are partial:", err)
+	}
+	if *jsonOut {
+		emit(pr)
+		exitClean(pr.SecretFree() && err == nil)
+	}
+	fmt.Printf("phase 1 (bound %d, no hazard detection): %s\n", spectre.BoundNoHazards, pr.Phase1.Summary())
+	if !pr.Phase1.SecretFree {
+		reportFindings(pr.Phase1)
 		os.Exit(1)
 	}
-	fmt.Printf("phase 2 (bound %d, hazard detection):    %s\n", pitchfork.BoundWithHazards, p2.Summary())
-	if !p2.SecretFree() {
-		reportViolations(p2)
+	if pr.Phase2 == nil {
+		// Cancelled after a clean phase 1, before phase 2 completed.
+		os.Exit(1)
+	}
+	fmt.Printf("phase 2 (bound %d, hazard detection):    %s\n", spectre.BoundWithHazards, pr.Phase2.Summary())
+	if !pr.Phase2.SecretFree {
+		reportFindings(pr.Phase2)
+		os.Exit(1)
+	}
+	if err != nil {
 		os.Exit(1)
 	}
 	fmt.Println("speculative constant-time at the analyzed bounds")
 }
 
-func report(rep pitchfork.Report) {
-	fmt.Println(rep.Summary())
-	if !rep.SecretFree() {
-		reportViolations(rep)
-		os.Exit(1)
+func emit(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
 	}
 }
 
-func reportViolations(rep pitchfork.Report) {
-	for i, v := range rep.Violations {
-		fmt.Printf("violation %d: %s\n", i+1, v)
-		if len(v.Schedule) > 0 && len(v.Schedule) <= 40 {
-			fmt.Printf("  schedule: %s\n", v.Schedule)
+func exitClean(clean bool) {
+	if !clean {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func reportFindings(rep *spectre.Report) {
+	for i, f := range rep.Findings {
+		fmt.Printf("violation %d: %s\n", i+1, f)
+		if len(f.Schedule) > 0 && len(f.Schedule) <= 40 {
+			fmt.Printf("  schedule: %s\n", strings.Join(f.Schedule, "; "))
 		}
-		fmt.Printf("  trace: %s\n", v.Trace)
+		fmt.Printf("  trace: %s\n", f.Trace)
 	}
 }
 

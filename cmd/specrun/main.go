@@ -13,7 +13,7 @@ import (
 	"fmt"
 	"os"
 
-	"pitchfork/internal/attacks"
+	"pitchfork/spectre"
 )
 
 func main() {
@@ -22,13 +22,13 @@ func main() {
 		want[a] = true
 	}
 	ran := 0
-	for _, a := range attacks.Gallery() {
-		if len(want) > 0 && !want[a.ID] {
+	for _, f := range spectre.Gallery() {
+		if len(want) > 0 && !want[f.ID] {
 			continue
 		}
-		out, err := a.Render()
+		out, err := f.Render()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "specrun: %s: %v\n", a.ID, err)
+			fmt.Fprintf(os.Stderr, "specrun: %s: %v\n", f.ID, err)
 			os.Exit(1)
 		}
 		fmt.Println(out)

@@ -4,8 +4,10 @@
 // constant-time (SCT) security property, and the Pitchfork detector,
 // together with every substrate the paper's evaluation relies on.
 //
-// See README.md for the tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. The root package holds only the repository-level benchmark
-// harness (bench_test.go); the implementation lives under internal/.
+// The supported API surface is the spectre package (pitchfork/spectre):
+// a ProgramBuilder, an Analyzer with functional options and streaming,
+// context-aware analysis, and a stable JSON report schema. See
+// README.md for the tour and quickstart. The implementation lives
+// under internal/; the root package holds only the repository-level
+// benchmark harness (bench_test.go).
 package pitchfork

@@ -8,28 +8,25 @@ import (
 	"fmt"
 	"log"
 
-	"pitchfork/internal/attacks"
-	"pitchfork/internal/cachesim"
-	"pitchfork/internal/core"
+	"pitchfork/spectre"
 )
 
 func main() {
-	a := attacks.Figure1()
-	recs, err := a.Run()
+	fig, ok := spectre.FigureByID("fig1")
+	if !ok {
+		log.Fatal("fig1 missing from gallery")
+	}
+	trace, err := fig.Trace()
 	if err != nil {
 		log.Fatal(err)
-	}
-	var trace core.Trace
-	for _, r := range recs {
-		trace = append(trace, r.Obs...)
 	}
 	fmt.Printf("victim trace: %s\n\n", trace)
 
-	cache, err := cachesim.New(64, 4, 1)
+	cache, err := spectre.NewCache(64, 4, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fr := cachesim.FlushReload{Cache: cache, ProbeBase: 0x44, Stride: 1, Slots: 256}
+	fr := spectre.FlushReload{Cache: cache, ProbeBase: 0x44, Stride: 1, Slots: 256}
 	hot := fr.Recover(trace)
 	fmt.Printf("hot probe slots: %v\n", hot)
 	for _, s := range hot {

@@ -9,15 +9,15 @@ import (
 	"fmt"
 	"log"
 
-	"pitchfork/internal/crypto"
+	"pitchfork/spectre"
 )
 
 func main() {
-	rows, err := crypto.Table2(crypto.Options{})
+	rows, err := spectre.Table2()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Table 2 — ✓: violation found; f: found only with forwarding-hazard detection; –: clean")
 	fmt.Println()
-	fmt.Print(crypto.Render(rows))
+	fmt.Print(spectre.RenderTable2(rows))
 }

@@ -4,12 +4,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"pitchfork/internal/core"
-	"pitchfork/internal/ct"
-	"pitchfork/internal/pitchfork"
+	"pitchfork/spectre"
 )
 
 const vulnerable = `
@@ -40,18 +39,24 @@ fn main() {
 `
 
 func audit(name, src string) (clean bool, instrs int) {
-	comp, err := ct.Compile(src, ct.ModeC)
+	prog, err := spectre.CompileCTL(src, spectre.ModeC)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := pitchfork.Analyze(core.New(comp.Prog), pitchfork.Options{
-		Bound: 20, ForwardHazards: true, StopAtFirst: true,
-	})
+	an, err := spectre.New(
+		spectre.WithBound(20),
+		spectre.WithForwardHazards(true),
+		spectre.WithStopAtFirst(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-12s %-60s (%d instructions)\n", name, rep.Summary(), comp.Prog.Len())
-	return rep.SecretFree(), comp.Prog.Len()
+	rep, err := an.Run(context.Background(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %-60s (%d instructions)\n", name, rep.Summary(), prog.Len())
+	return rep.SecretFree, prog.Len()
 }
 
 func main() {

@@ -1,51 +1,52 @@
 // Quickstart: build the paper's Figure 1 gadget against the public
-// API, prove it is sequentially constant-time, then catch the Spectre
-// v1 violation with the detector.
+// spectre API, prove it is sequentially constant-time, then catch the
+// Spectre v1 violation with the detector.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
-	"pitchfork/internal/core"
-	"pitchfork/internal/isa"
-	"pitchfork/internal/mem"
-	"pitchfork/internal/pitchfork"
+	"pitchfork/spectre"
 )
 
 func main() {
 	const (
-		ra = isa.Reg(0)
-		rb = isa.Reg(1)
-		rc = isa.Reg(2)
+		ra = spectre.Reg(0)
+		rb = spectre.Reg(1)
+		rc = spectre.Reg(2)
 	)
 	// if (ra < 4) { rb = A[ra]; rc = B[rb] } — with Key adjacent to A.
-	b := isa.NewBuilder(1)
-	b.Br(isa.OpGt, []isa.Operand{isa.ImmW(4), isa.R(ra)}, 2, 4)
-	b.Load(rb, isa.ImmW(0x40), isa.R(ra))
-	b.Load(rc, isa.ImmW(0x44), isa.R(rb))
-	b.Region(0x40, mem.Pub(10), mem.Pub(11), mem.Pub(12), mem.Pub(13))
-	b.Region(0x44, mem.Pub(20), mem.Pub(21), mem.Pub(22), mem.Pub(23))
-	b.Region(0x48, mem.Sec(0xA0), mem.Sec(0xA1), mem.Sec(0xA2), mem.Sec(0xA3))
-	prog := b.MustBuild()
+	prog := spectre.NewProgramBuilder().
+		Br(spectre.OpGt, []spectre.Operand{spectre.Imm(4), spectre.R(ra)}, 2, 4).
+		Load(rb, spectre.Imm(0x40), spectre.R(ra)).
+		Load(rc, spectre.Imm(0x44), spectre.R(rb)).
+		Public(0x40, 10, 11, 12, 13).
+		Public(0x44, 20, 21, 22, 23).
+		Secret(0x48, 0xA0, 0xA1, 0xA2, 0xA3).
+		SetReg(ra, 9). // attacker-chosen, out of bounds
+		MustBuild()
 
-	m := core.New(prog)
-	m.Regs.Write(ra, mem.Pub(9)) // attacker-chosen, out of bounds
-
-	_, seqTrace, err := core.RunSequential(m.Clone(), 100)
+	seq, err := prog.Sequential(100)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sequential trace: %s\n", seqTrace)
-	fmt.Printf("sequentially constant-time: %t\n\n", !seqTrace.HasSecret())
+	fmt.Printf("sequential trace: %s\n", seq.Trace)
+	fmt.Printf("sequentially constant-time: %t\n\n", seq.SecretFree())
 
-	rep, err := pitchfork.Analyze(m, pitchfork.Options{Bound: 20, StopAtFirst: true})
+	an, err := spectre.New(spectre.WithBound(20), spectre.WithStopAtFirst(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := an.Run(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("speculative analysis:", rep.Summary())
-	for _, v := range rep.Violations {
-		fmt.Printf("  schedule: %s\n", v.Schedule)
-		fmt.Printf("  trace:    %s\n", v.Trace)
+	for _, f := range rep.Findings {
+		fmt.Printf("  schedule: %s\n", strings.Join(f.Schedule, "; "))
+		fmt.Printf("  trace:    %s\n", f.Trace)
 	}
 }

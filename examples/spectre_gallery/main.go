@@ -6,14 +6,14 @@ import (
 	"fmt"
 	"log"
 
-	"pitchfork/internal/attacks"
+	"pitchfork/spectre"
 )
 
 func main() {
-	for _, a := range attacks.Gallery() {
-		out, err := a.Render()
+	for _, f := range spectre.Gallery() {
+		out, err := f.Render()
 		if err != nil {
-			log.Fatalf("%s: %v", a.ID, err)
+			log.Fatalf("%s: %v", f.ID, err)
 		}
 		fmt.Println(out)
 	}

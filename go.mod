@@ -1,0 +1,3 @@
+module pitchfork
+
+go 1.24

@@ -42,6 +42,17 @@ type Options struct {
 	StopAtFirst bool
 	// SolverSeed seeds the symbolic solver (symbolic mode only).
 	SolverSeed int64
+	// OnViolation, if non-nil, is invoked synchronously as each
+	// violation is found, before exploration continues. Returning false
+	// stops the analysis early; everything found so far stays in the
+	// report. This is the streaming hook the public spectre package
+	// builds on.
+	OnViolation func(Violation) bool
+	// Interrupt, if non-nil, is polled once per explored state.
+	// Returning true aborts the analysis promptly with the partial
+	// report and Report.Interrupted set — how context cancellation
+	// reaches the explorers.
+	Interrupt func() bool
 }
 
 // The two bounds of the paper's evaluation procedure (§4.2.1).
@@ -79,7 +90,10 @@ type Report struct {
 	States     int
 	Paths      int
 	Truncated  bool
-	Mode       string
+	// Interrupted reports whether Options.Interrupt (or an OnViolation
+	// callback returning false) cut the analysis short.
+	Interrupted bool
+	Mode        string
 }
 
 // SecretFree reports whether the program was found SCT-clean at the
@@ -95,29 +109,45 @@ func (r Report) Summary() string {
 		len(r.Violations), r.Mode, r.States, r.Paths, r.Violations[0])
 }
 
+// violationOf lifts a scheduler violation into the detector's type.
+func violationOf(v sched.Violation) Violation {
+	return Violation{
+		Obs:      v.Obs,
+		Kind:     v.Kind,
+		Schedule: v.Schedule,
+		Trace:    v.Trace,
+		PC:       uint64(v.PC),
+	}
+}
+
 // Analyze runs the concrete-mode detector on a machine configuration.
 func Analyze(m *core.Machine, opts Options) (Report, error) {
-	e, err := sched.NewExplorer(sched.Options{
+	sopts := sched.Options{
 		Bound:          opts.Bound,
 		ForwardHazards: opts.ForwardHazards,
 		MaxStates:      opts.MaxStates,
 		MaxRetired:     opts.MaxRetired,
 		StopAtFirst:    opts.StopAtFirst,
 		KeepSchedules:  true,
-	})
+		Interrupt:      opts.Interrupt,
+	}
+	if opts.OnViolation != nil {
+		sopts.OnViolation = func(v sched.Violation) bool {
+			return opts.OnViolation(violationOf(v))
+		}
+	}
+	e, err := sched.NewExplorer(sopts)
 	if err != nil {
 		return Report{}, err
 	}
 	res := e.Explore(m)
-	rep := Report{States: res.States, Paths: res.Paths, Truncated: res.Truncated, Mode: "concrete"}
+	rep := Report{
+		States: res.States, Paths: res.Paths,
+		Truncated: res.Truncated, Interrupted: res.Interrupted,
+		Mode: "concrete",
+	}
 	for _, v := range res.Violations {
-		rep.Violations = append(rep.Violations, Violation{
-			Obs:      v.Obs,
-			Kind:     v.Kind,
-			Schedule: v.Schedule,
-			Trace:    v.Trace,
-			PC:       uint64(v.PC),
-		})
+		rep.Violations = append(rep.Violations, violationOf(v))
 	}
 	return rep, nil
 }

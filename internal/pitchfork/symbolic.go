@@ -226,6 +226,8 @@ type symbolicAnalyzer struct {
 	solver *symx.Solver
 	concr  *symx.Concretizer
 	rep    *Report
+	// stopped is set when an OnViolation callback asks to stop.
+	stopped bool
 }
 
 // AnalyzeSymbolic runs the symbolic-mode detector.
@@ -264,12 +266,20 @@ func AnalyzeSymbolic(m *SymMachine, opts Options) (Report, error) {
 			a.rep.Truncated = true
 			break
 		}
+		if opts.Interrupt != nil && opts.Interrupt() {
+			a.rep.Interrupted = true
+			break
+		}
 		st := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		a.rep.States++
 		done, forks := a.advance(st)
 		if done {
 			a.rep.Paths++
+			if a.stopped {
+				a.rep.Interrupted = true
+				break
+			}
 			if opts.StopAtFirst && len(a.rep.Violations) > 0 {
 				break
 			}
@@ -294,6 +304,9 @@ func (a *symbolicAnalyzer) flag(st *symState, at int) {
 		}
 	}
 	a.rep.Violations = append(a.rep.Violations, v)
+	if a.opts.OnViolation != nil && !a.opts.OnViolation(v) {
+		a.stopped = true
+	}
 }
 
 func (a *symbolicAnalyzer) classify(st *symState) sched.VariantKind {

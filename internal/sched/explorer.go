@@ -55,6 +55,14 @@ type Options struct {
 	// violation (memory-heavy for deep runs; on by default via
 	// Explore).
 	KeepSchedules bool
+	// OnViolation, if non-nil, is invoked synchronously as each
+	// violation is recorded, before exploration continues. Returning
+	// false stops the exploration early, like StopAtFirst.
+	OnViolation func(Violation) bool
+	// Interrupt, if non-nil, is polled once per explored state.
+	// Returning true aborts the exploration; the violations found so
+	// far remain in the result and Result.Interrupted is set.
+	Interrupt func() bool
 }
 
 // DefaultMaxStates and DefaultMaxRetired are the exploration budgets
@@ -125,6 +133,9 @@ type Result struct {
 	Paths int
 	// Truncated reports whether the MaxStates budget was hit.
 	Truncated bool
+	// Interrupted reports whether Options.Interrupt (or an OnViolation
+	// callback returning false) cut the exploration short.
+	Interrupted bool
 }
 
 // SecretFree reports whether no violation was found.
@@ -133,6 +144,9 @@ func (r Result) SecretFree() bool { return len(r.Violations) == 0 }
 // Explorer walks the worst-case schedules of a machine.
 type Explorer struct {
 	opts Options
+	// stopped is set when an OnViolation callback asks to stop; it is
+	// reset at the start of each Explore.
+	stopped bool
 }
 
 // NewExplorer validates options and returns an explorer.
@@ -177,11 +191,16 @@ func (s *state) clone() *state {
 // configuration. The machine itself is not mutated.
 func (e *Explorer) Explore(m *core.Machine) Result {
 	var res Result
+	e.stopped = false
 	root := &state{m: m.Clone(), pendingFwd: make(map[int]bool)}
 	stack := []*state{root}
 	for len(stack) > 0 {
 		if res.States >= e.opts.MaxStates {
 			res.Truncated = true
+			break
+		}
+		if e.opts.Interrupt != nil && e.opts.Interrupt() {
+			res.Interrupted = true
 			break
 		}
 		st := stack[len(stack)-1]
@@ -191,6 +210,10 @@ func (e *Explorer) Explore(m *core.Machine) Result {
 		done, forks := e.advance(st, &res)
 		if done {
 			res.Paths++
+			if e.stopped {
+				res.Interrupted = true
+				break
+			}
 			if e.opts.StopAtFirst && len(res.Violations) > 0 {
 				break
 			}
@@ -219,6 +242,9 @@ func (e *Explorer) advance(st *state, res *Result) (bool, []*state) {
 			v.Schedule = append(core.Schedule(nil), st.sched...)
 		}
 		res.Violations = append(res.Violations, v)
+		if e.opts.OnViolation != nil && !e.opts.OnViolation(v) {
+			e.stopped = true
+		}
 		return true, nil
 	}
 	if m.Halted() || m.Retired >= e.opts.MaxRetired {

@@ -322,3 +322,45 @@ func TestExplorerHandlesCalls(t *testing.T) {
 		t.Fatal("no paths completed")
 	}
 }
+
+func TestExplorerOnViolationStreamsAndStops(t *testing.T) {
+	var streamed []Violation
+	e, err := NewExplorer(Options{
+		Bound:         20,
+		KeepSchedules: true,
+		OnViolation: func(v Violation) bool {
+			streamed = append(streamed, v)
+			return false // stop after the first
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Explore(v1Gadget(9))
+	if len(streamed) != 1 {
+		t.Fatalf("callback must fire exactly once, got %d", len(streamed))
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("stopping callback must leave one recorded violation, got %d", len(res.Violations))
+	}
+	if !res.Interrupted {
+		t.Fatal("stopping callback must mark the result interrupted")
+	}
+	if streamed[0].Kind != res.Violations[0].Kind || streamed[0].PC != res.Violations[0].PC {
+		t.Fatal("streamed violation must match the recorded one")
+	}
+}
+
+func TestExplorerInterruptAborts(t *testing.T) {
+	e, err := NewExplorer(Options{Bound: 20, Interrupt: func() bool { return true }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Explore(v1Gadget(9))
+	if !res.Interrupted {
+		t.Fatal("interrupt must mark the result interrupted")
+	}
+	if res.States != 0 {
+		t.Fatalf("interrupt before the first state must explore nothing, got %d states", res.States)
+	}
+}

@@ -1,0 +1,151 @@
+package spectre
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"pitchfork/internal/pitchfork"
+)
+
+// Analyzer checks programs for speculative constant-time violations by
+// exploring the paper's worst-case attacker schedules. An Analyzer is
+// immutable after construction and safe to reuse across runs; each Run
+// operates on a fresh machine built from the program.
+type Analyzer struct {
+	cfg config
+}
+
+// New constructs an Analyzer from functional options. With no options
+// the analyzer runs concrete-mode analysis at DefaultBound with
+// forwarding-hazard detection enabled.
+func New(opts ...Option) (*Analyzer, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if err := o(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	return &Analyzer{cfg: cfg}, nil
+}
+
+// Run analyzes the program to completion (or until the context is
+// cancelled) and returns the report.
+//
+// Cancellation is prompt: when ctx is cancelled mid-exploration the
+// partial report — findings discovered so far, with Interrupted set —
+// is returned alongside the context's error.
+func (a *Analyzer) Run(ctx context.Context, p *Program) (*Report, error) {
+	return a.run(ctx, p, a.cfg.bound, a.cfg.forwardHazards, nil)
+}
+
+// Stream is Run with a streaming callback: yield is invoked
+// synchronously for each finding as exploration discovers it, before
+// the search continues. Returning false from yield stops the analysis
+// early; the report then carries everything found up to that point
+// with Interrupted set, and the returned error is nil.
+func (a *Analyzer) Stream(ctx context.Context, p *Program, yield func(Finding) bool) (*Report, error) {
+	if yield == nil {
+		return nil, fmt.Errorf("spectre: Stream requires a non-nil yield callback")
+	}
+	return a.run(ctx, p, a.cfg.bound, a.cfg.forwardHazards, yield)
+}
+
+// Findings returns an iterator over findings, for range-over-func
+// consumption:
+//
+//	for f := range an.Findings(ctx, prog) { … }
+//
+// Breaking out of the loop stops the underlying exploration. Errors
+// and exploration statistics are not surfaced here; use Run or Stream
+// when they matter.
+func (a *Analyzer) Findings(ctx context.Context, p *Program) iter.Seq[Finding] {
+	return func(yield func(Finding) bool) {
+		a.Stream(ctx, p, yield) //nolint:errcheck // iterator form drops the report by design
+	}
+}
+
+// ProcedureReport aggregates the two phases of the paper's §4.2.1
+// evaluation procedure. Phase2 is nil when phase 1 already flagged a
+// violation (or was interrupted).
+type ProcedureReport struct {
+	Phase1 *Report `json:"phase1"`
+	Phase2 *Report `json:"phase2,omitempty"`
+}
+
+// SecretFree reports whether both phases came back clean.
+func (pr *ProcedureReport) SecretFree() bool {
+	if pr.Phase1 == nil || !pr.Phase1.SecretFree {
+		return false
+	}
+	return pr.Phase2 != nil && pr.Phase2.SecretFree
+}
+
+// Findings returns the findings of both phases in discovery order.
+func (pr *ProcedureReport) Findings() []Finding {
+	var out []Finding
+	if pr.Phase1 != nil {
+		out = append(out, pr.Phase1.Findings...)
+	}
+	if pr.Phase2 != nil {
+		out = append(out, pr.Phase2.Findings...)
+	}
+	return out
+}
+
+// RunProcedure runs the paper's two-phase evaluation procedure
+// (§4.2.1): first at BoundNoHazards without forwarding-hazard
+// detection; if that phase is clean, again at BoundWithHazards with
+// hazard detection. The analyzer's WithBound/WithForwardHazards
+// settings are overridden by the procedure's phases; the remaining
+// options apply to both.
+func (a *Analyzer) RunProcedure(ctx context.Context, p *Program) (*ProcedureReport, error) {
+	phase1, err := a.run(ctx, p, BoundNoHazards, false, nil)
+	if err != nil || !phase1.SecretFree {
+		return &ProcedureReport{Phase1: phase1}, err
+	}
+	phase2, err := a.run(ctx, p, BoundWithHazards, true, nil)
+	return &ProcedureReport{Phase1: phase1, Phase2: phase2}, err
+}
+
+// run maps the unified configuration onto the internal detector,
+// wiring context cancellation and the streaming callback into the
+// exploration hooks.
+func (a *Analyzer) run(ctx context.Context, p *Program, bound int, fwd bool, yield func(Finding) bool) (*Report, error) {
+	if p == nil {
+		return nil, fmt.Errorf("spectre: nil program")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts := pitchfork.Options{
+		Bound:          bound,
+		ForwardHazards: fwd,
+		MaxStates:      a.cfg.maxStates,
+		MaxRetired:     a.cfg.maxRetired,
+		StopAtFirst:    a.cfg.stopAtFirst,
+		SolverSeed:     a.cfg.solverSeed,
+		Interrupt:      func() bool { return ctx.Err() != nil },
+	}
+	if yield != nil {
+		opts.OnViolation = func(v pitchfork.Violation) bool {
+			return yield(findingOf(v))
+		}
+	}
+	var irep pitchfork.Report
+	var err error
+	if a.cfg.symbolic {
+		irep, err = pitchfork.AnalyzeSymbolic(p.symMachine(), opts)
+	} else {
+		irep, err = pitchfork.Analyze(p.machine(), opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("spectre: %w", err)
+	}
+	rep := reportOf(irep, bound, fwd)
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		rep.Interrupted = true
+		return rep, ctxErr
+	}
+	return rep, nil
+}

@@ -1,0 +1,69 @@
+package spectre
+
+import (
+	"fmt"
+
+	"pitchfork/internal/cachesim"
+)
+
+// Cache is a set-associative LRU cache driven by observation traces.
+// The paper deliberately does not model caches (§3.1): any replacement
+// policy is a function of the observation sequence. This type
+// demonstrates that claim constructively — replay a trace and probe
+// what a timing attacker would see.
+type Cache struct {
+	c *cachesim.Cache
+}
+
+// NewCache builds a cache with the given geometry. sets and ways must
+// be positive; lineWords is the words-per-line granularity (1 models
+// word-granular probing).
+func NewCache(sets, ways int, lineWords Word) (*Cache, error) {
+	c, err := cachesim.New(sets, ways, lineWords)
+	if err != nil {
+		return nil, fmt.Errorf("spectre: %w", err)
+	}
+	return &Cache{c: c}, nil
+}
+
+// Touch accesses address a, inserting its line MRU-first.
+func (c *Cache) Touch(a Word) { c.c.Touch(a) }
+
+// Flush evicts the line holding a.
+func (c *Cache) Flush(a Word) { c.c.Flush(a) }
+
+// FlushAll empties the cache.
+func (c *Cache) FlushAll() { c.c.FlushAll() }
+
+// Hit reports whether a's line is resident.
+func (c *Cache) Hit(a Word) bool { return c.c.Hit(a) }
+
+// Replay drives the cache with the memory events of a trace: reads
+// and writes touch their address; forwards bypass the cache.
+func (c *Cache) Replay(t Trace) { c.c.Replay(coreTrace(t)) }
+
+// FlushReload is the classic probe: flush the probe array, run the
+// victim (the trace), and reload each slot — a hot slot's index is a
+// candidate leaked value.
+type FlushReload struct {
+	Cache *Cache
+	// ProbeBase is the start of the attacker-visible probe array,
+	// Stride the spacing between slots, Slots the number of candidate
+	// secret values.
+	ProbeBase Word
+	Stride    Word
+	Slots     int
+}
+
+// Recover replays the victim trace and returns every hot probe slot
+// in increasing order. Accesses the victim makes architecturally are
+// known to the attacker and can be discounted; the remaining hot slot
+// is the leaked secret.
+func (fr FlushReload) Recover(t Trace) []int {
+	return cachesim.FlushReload{
+		Cache:     fr.Cache.c,
+		ProbeBase: fr.ProbeBase,
+		Stride:    fr.Stride,
+		Slots:     fr.Slots,
+	}.Recover(coreTrace(t))
+}

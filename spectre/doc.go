@@ -1,0 +1,40 @@
+// Package spectre is the public façade of the Pitchfork reproduction:
+// the one supported way to drive the speculative constant-time (SCT)
+// detector of "Constant-Time Foundations for the New Spectre Era"
+// (Cauligi et al., PLDI 2020) without importing any internal package.
+//
+// The package offers three things:
+//
+//   - A ProgramBuilder for assembling programs in the paper's abstract
+//     ISA — instructions, memory layouts, and secret/public labels —
+//     plus CompileCTL for the repository's C-like CTL language.
+//
+//   - An Analyzer, constructed with functional options (WithBound,
+//     WithForwardHazards, WithMaxStates, WithMaxRetired,
+//     WithStopAtFirst, WithSymbolic, WithSolverSeed), that runs the
+//     paper's worst-case-schedule exploration in concrete or symbolic
+//     mode. Analysis is context-aware: cancelling the context makes
+//     Run return promptly with the findings accumulated so far, and
+//     Stream delivers each Finding through a callback as exploration
+//     proceeds — the hook batching, sharding, and serving layers
+//     build on.
+//
+//   - A stable, JSON-serializable Finding/Report schema: Spectre
+//     variant kind, violating program counter, the leaking
+//     observation, the attacker's directive schedule, and (in symbolic
+//     mode) a witness assignment.
+//
+// A minimal audit looks like:
+//
+//	prog := spectre.NewProgramBuilder(). /* … build the victim … */ MustBuild()
+//	an, err := spectre.New(spectre.WithBound(20), spectre.WithStopAtFirst(true))
+//	if err != nil { /* … */ }
+//	rep, err := an.Run(context.Background(), prog)
+//	for _, f := range rep.Findings {
+//		fmt.Println(f)
+//	}
+//
+// See the package example for a complete builder → analyze → findings
+// walk-through on the classic Spectre v1 bounds-check-bypass gadget
+// (Kocher case 1).
+package spectre

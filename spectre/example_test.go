@@ -1,0 +1,63 @@
+package spectre_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"pitchfork/spectre"
+)
+
+// Example walks the classic Spectre v1 bounds-check bypass — Kocher's
+// case 1, the paper's Figure 1 — through the public API: assemble the
+// victim with the builder, analyze it, and inspect the findings.
+//
+// The victim is
+//
+//	if (x < 4) { b = A[x]; c = B[b]; }
+//
+// with the secret key laid out directly after the four-element public
+// array A. Architecturally the guard keeps x in bounds; under a
+// mispredicted branch the out-of-bounds A[9] reads a key byte and the
+// second load transmits it through a memory address.
+func Example() {
+	const (
+		rx = spectre.Reg(0) // attacker-controlled index x
+		rb = spectre.Reg(1)
+		rc = spectre.Reg(2)
+	)
+	prog := spectre.NewProgramBuilder().
+		Br(spectre.OpGt, []spectre.Operand{spectre.Imm(4), spectre.R(rx)}, 2, 4).
+		Load(rb, spectre.Imm(0x40), spectre.R(rx)). // b = A[x]
+		Load(rc, spectre.Imm(0x44), spectre.R(rb)). // c = B[b]
+		Public(0x40, 10, 11, 12, 13).               // A
+		Public(0x44, 20, 21, 22, 23).               // B
+		Secret(0x48, 0xA0, 0xA1, 0xA2, 0xA3).       // key, adjacent to A
+		SetReg(rx, 9).                              // out of bounds
+		MustBuild()
+
+	// Sequentially the program is constant-time: the guard holds.
+	seq, err := prog.Sequential(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sequentially constant-time:", seq.SecretFree())
+
+	// Speculatively it is not: the detector finds the leak.
+	an, err := spectre.New(spectre.WithBound(20), spectre.WithStopAtFirst(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := an.Run(context.Background(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("speculatively constant-time:", rep.SecretFree)
+	for _, f := range rep.Findings {
+		fmt.Println(f)
+	}
+	// Output:
+	// sequentially constant-time: true
+	// speculatively constant-time: false
+	// spectre-v1: read 229sec at pc 4
+}

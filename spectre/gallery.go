@@ -1,0 +1,75 @@
+package spectre
+
+import (
+	"fmt"
+
+	"pitchfork/internal/attacks"
+)
+
+// Figure is one of the paper's worked examples: a victim program plus
+// the attacker directive schedule the figure walks through.
+type Figure struct {
+	// ID is the figure identifier ("fig1", "fig2", …).
+	ID string
+	// Title describes the gadget; Variant names the Spectre variant or
+	// mechanism it demonstrates.
+	Title   string
+	Variant string
+	// LeaksSecret reports whether the figure's schedule leaks a
+	// secret (some figures demonstrate safe executions).
+	LeaksSecret bool
+
+	attack attacks.Attack
+}
+
+// Gallery returns the paper's worked figures in paper order.
+func Gallery() []Figure {
+	as := attacks.Gallery()
+	out := make([]Figure, len(as))
+	for i, a := range as {
+		out[i] = Figure{
+			ID:          a.ID,
+			Title:       a.Title,
+			Variant:     a.Variant,
+			LeaksSecret: a.WantSecretLeak,
+			attack:      a,
+		}
+	}
+	return out
+}
+
+// FigureByID looks a figure up by identifier.
+func FigureByID(id string) (Figure, bool) {
+	for _, f := range Gallery() {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// Trace replays the figure's schedule on a fresh machine and returns
+// the observation trace the attacker sees.
+func (f Figure) Trace() (Trace, error) {
+	recs, err := f.attack.Run()
+	if err != nil {
+		return nil, fmt.Errorf("spectre: %s: %w", f.ID, err)
+	}
+	var t Trace
+	for _, r := range recs {
+		for _, o := range r.Obs {
+			t = append(t, obsOf(o))
+		}
+	}
+	return t, nil
+}
+
+// Render produces the paper-style directive/leakage table for the
+// figure.
+func (f Figure) Render() (string, error) {
+	out, err := f.attack.Render()
+	if err != nil {
+		return "", fmt.Errorf("spectre: %s: %w", f.ID, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package spectre
+
+import "fmt"
+
+// The speculation bounds of the paper's §4.2.1 evaluation procedure.
+const (
+	// BoundNoHazards is the bound used without forwarding-hazard
+	// detection (phase 1).
+	BoundNoHazards = 250
+	// BoundWithHazards is the reduced bound that keeps hazard-aware
+	// analysis tractable (phase 2).
+	BoundWithHazards = 20
+	// DefaultBound is the bound an Analyzer uses when WithBound is not
+	// given: the tractable hazard-aware bound.
+	DefaultBound = BoundWithHazards
+)
+
+// config is the unified analysis configuration the functional options
+// populate. It subsumes the option sets of the internal detector and
+// scheduler packages.
+type config struct {
+	bound          int
+	forwardHazards bool
+	maxStates      int
+	maxRetired     int
+	stopAtFirst    bool
+	symbolic       bool
+	solverSeed     int64
+}
+
+func defaultConfig() config {
+	return config{
+		bound:          DefaultBound,
+		forwardHazards: true,
+	}
+}
+
+// Option configures an Analyzer.
+type Option func(*config) error
+
+// WithBound sets the speculation bound: the maximum reorder-buffer
+// size, hence the maximum speculation depth. The paper's evaluation
+// uses 250 without forwarding-hazard detection and 20 with it. The
+// bound must be positive.
+func WithBound(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("spectre: speculation bound must be positive, got %d", n)
+		}
+		c.bound = n
+		return nil
+	}
+}
+
+// WithForwardHazards enables or disables exploration of
+// store-forwarding outcomes (Spectre v4 and the paper's "f" findings).
+// It is enabled by default; disabling it makes deep bounds like
+// BoundNoHazards tractable.
+func WithForwardHazards(on bool) Option {
+	return func(c *config) error {
+		c.forwardHazards = on
+		return nil
+	}
+}
+
+// WithMaxStates bounds the number of explored machine states. Zero
+// restores the exploration default; negative is rejected.
+func WithMaxStates(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("spectre: max states must be non-negative, got %d", n)
+		}
+		c.maxStates = n
+		return nil
+	}
+}
+
+// WithMaxRetired bounds the retired instructions per exploration path
+// (the budget that terminates non-halting programs). Zero restores the
+// default; negative is rejected.
+func WithMaxRetired(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("spectre: max retired must be non-negative, got %d", n)
+		}
+		c.maxRetired = n
+		return nil
+	}
+}
+
+// WithStopAtFirst stops each run at the first finding.
+func WithStopAtFirst(on bool) Option {
+	return func(c *config) error {
+		c.stopAtFirst = on
+		return nil
+	}
+}
+
+// WithSymbolic switches the analyzer to symbolic mode: registers and
+// memory cells bound with the builder's Symbolic* methods become
+// unconstrained solver variables, execution tracks path conditions and
+// forks at input-dependent branches, and each finding carries a
+// witness assignment. Like the original tool, symbolic mode covers
+// conditional-branch speculation and store-forwarding variants
+// (Spectre v1, v1.1, v4), with computed control flow followed
+// architecturally.
+func WithSymbolic(on bool) Option {
+	return func(c *config) error {
+		c.symbolic = on
+		return nil
+	}
+}
+
+// WithSolverSeed seeds the symbolic solver's randomized model search,
+// making witness assignments reproducible (symbolic mode only).
+func WithSolverSeed(seed int64) Option {
+	return func(c *config) error {
+		c.solverSeed = seed
+		return nil
+	}
+}

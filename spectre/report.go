@@ -1,0 +1,256 @@
+package spectre
+
+import (
+	"fmt"
+	"strings"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/mem"
+	"pitchfork/internal/pitchfork"
+)
+
+// Observation is one externally visible event of the speculative
+// semantics, in the stable wire schema. Addr is meaningful for "read",
+// "fwd", and "write" observations; Target for "jump"; "rollback"
+// carries neither. Secret reports whether the event's label is above
+// public — i.e. whether this event leaks secret-influenced data.
+type Observation struct {
+	Kind   string `json:"kind"` // "read" | "fwd" | "write" | "jump" | "rollback"
+	Addr   Word   `json:"addr"`
+	Target Addr   `json:"target"`
+	Secret bool   `json:"secret"`
+}
+
+// Observation kind strings of the wire schema, matching the paper's
+// observation syntax.
+const (
+	ObsRead     = "read"
+	ObsFwd      = "fwd"
+	ObsWrite    = "write"
+	ObsJump     = "jump"
+	ObsRollback = "rollback"
+)
+
+// String renders the observation in the paper's syntax, e.g.
+// "read 72sec".
+func (o Observation) String() string {
+	label := "pub"
+	if o.Secret {
+		label = "sec"
+	}
+	switch o.Kind {
+	case ObsJump:
+		return fmt.Sprintf("jump %d%s", o.Target, label)
+	case ObsRollback:
+		return "rollback"
+	default:
+		return fmt.Sprintf("%s %d%s", o.Kind, o.Addr, label)
+	}
+}
+
+// Trace is an observation sequence.
+type Trace []Observation
+
+// SecretFree reports whether no observation in the trace is
+// secret-labeled.
+func (t Trace) SecretFree() bool {
+	for _, o := range t {
+		if o.Secret {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the trace as "o1; o2; …".
+func (t Trace) String() string {
+	parts := make([]string, len(t))
+	for i, o := range t {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Spectre variant identifiers used in Finding.Variant. They mirror the
+// detector's heuristic classification of a violation's
+// microarchitectural cause.
+const (
+	VariantV1      = "spectre-v1"
+	VariantV11     = "spectre-v1.1"
+	VariantV4      = "spectre-v4"
+	VariantSeq     = "sequential-ct-violation"
+	VariantUnknown = "unclassified"
+)
+
+// Finding is one detected SCT violation in the stable wire schema.
+type Finding struct {
+	// Variant is the heuristic Spectre-variant classification (one of
+	// the Variant* constants).
+	Variant string `json:"variant"`
+	// PC is the program point of the machine when the leak was flagged.
+	PC Addr `json:"pc"`
+	// Observation is the secret-labeled observation that constitutes
+	// the leak.
+	Observation Observation `json:"observation"`
+	// Trace is the observation trace up to and including the leak.
+	Trace Trace `json:"trace,omitempty"`
+	// Schedule is the attacker directive schedule that produced the
+	// leak, rendered in the paper's directive syntax (concrete mode).
+	Schedule []string `json:"schedule,omitempty"`
+	// Witness is a satisfying assignment for the symbolic inputs that
+	// reaches the leak (symbolic mode).
+	Witness map[string]uint64 `json:"witness,omitempty"`
+}
+
+// String renders the finding on one line.
+func (f Finding) String() string {
+	s := fmt.Sprintf("%s: %s at pc %d", f.Variant, f.Observation, f.PC)
+	if len(f.Witness) > 0 {
+		s += fmt.Sprintf(" (witness %v)", f.Witness)
+	}
+	return s
+}
+
+// Report aggregates one analysis run in the stable wire schema.
+type Report struct {
+	// Mode is "concrete" or "symbolic".
+	Mode string `json:"mode"`
+	// Bound is the speculation bound the run used.
+	Bound int `json:"bound"`
+	// ForwardHazards reports whether Spectre v4 style forwarding
+	// schedules were explored.
+	ForwardHazards bool `json:"forwardHazards"`
+	// SecretFree reports whether the program was found SCT-clean at
+	// the analyzed bound.
+	SecretFree bool `json:"secretFree"`
+	// Findings are the detected violations, in discovery order.
+	Findings []Finding `json:"findings"`
+	// States is the number of explored machine states; Paths the
+	// number of completed exploration paths.
+	States int `json:"states"`
+	Paths  int `json:"paths"`
+	// Truncated reports whether the MaxStates budget was exhausted.
+	Truncated bool `json:"truncated"`
+	// Interrupted reports whether the run was cut short — by context
+	// cancellation or by a Stream callback returning false.
+	Interrupted bool `json:"interrupted"`
+}
+
+// Summary renders a one-line result.
+func (r *Report) Summary() string {
+	status := "clean"
+	if !r.SecretFree {
+		status = fmt.Sprintf("%d violation(s)", len(r.Findings))
+	}
+	s := fmt.Sprintf("%s (%s mode, bound %d, %d states, %d paths)",
+		status, r.Mode, r.Bound, r.States, r.Paths)
+	if r.Interrupted {
+		s += " [interrupted]"
+	}
+	if r.Truncated {
+		s += " [truncated]"
+	}
+	if !r.SecretFree {
+		s += "; first: " + r.Findings[0].String()
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------
+// Conversions between the wire schema and the internal types.
+// ---------------------------------------------------------------------
+
+func obsOf(o core.Observation) Observation {
+	out := Observation{Secret: o.Secret()}
+	switch o.Kind {
+	case core.ORead:
+		out.Kind, out.Addr = ObsRead, o.Addr
+	case core.OFwd:
+		out.Kind, out.Addr = ObsFwd, o.Addr
+	case core.OWrite:
+		out.Kind, out.Addr = ObsWrite, o.Addr
+	case core.OJump:
+		out.Kind, out.Target = ObsJump, o.Target
+	case core.ORollback:
+		out.Kind = ObsRollback
+	}
+	return out
+}
+
+func traceOf(t core.Trace) Trace {
+	out := make(Trace, len(t))
+	for i, o := range t {
+		out[i] = obsOf(o)
+	}
+	return out
+}
+
+// coreObs lowers a wire observation back into the semantics' type.
+// Only the binary public/secret distinction survives the wire schema;
+// secret observations come back with the canonical secret label.
+func coreObs(o Observation) core.Observation {
+	label := mem.Public
+	if o.Secret {
+		label = mem.Secret
+	}
+	switch o.Kind {
+	case ObsRead:
+		return core.ReadObs(o.Addr, label)
+	case ObsFwd:
+		return core.FwdObs(o.Addr, label)
+	case ObsWrite:
+		return core.WriteObs(o.Addr, label)
+	case ObsJump:
+		return core.JumpObs(o.Target, label)
+	default:
+		return core.RollbackObs()
+	}
+}
+
+func coreTrace(t Trace) core.Trace {
+	out := make(core.Trace, len(t))
+	for i, o := range t {
+		out[i] = coreObs(o)
+	}
+	return out
+}
+
+func findingOf(v pitchfork.Violation) Finding {
+	f := Finding{
+		Variant:     v.Kind.String(),
+		PC:          v.PC,
+		Observation: obsOf(v.Obs),
+		Trace:       traceOf(v.Trace),
+	}
+	if len(v.Schedule) > 0 {
+		f.Schedule = make([]string, len(v.Schedule))
+		for i, d := range v.Schedule {
+			f.Schedule[i] = d.String()
+		}
+	}
+	if len(v.Model) > 0 {
+		f.Witness = make(map[string]uint64, len(v.Model))
+		for k, w := range v.Model {
+			f.Witness[k] = w
+		}
+	}
+	return f
+}
+
+func reportOf(rep pitchfork.Report, bound int, fwd bool) *Report {
+	out := &Report{
+		Mode:           rep.Mode,
+		Bound:          bound,
+		ForwardHazards: fwd,
+		SecretFree:     len(rep.Violations) == 0,
+		Findings:       make([]Finding, 0, len(rep.Violations)),
+		States:         rep.States,
+		Paths:          rep.Paths,
+		Truncated:      rep.Truncated,
+		Interrupted:    rep.Interrupted,
+	}
+	for _, v := range rep.Violations {
+		out.Findings = append(out.Findings, findingOf(v))
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package spectre_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pitchfork/spectre"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden report fixture")
+
+// TestReportGoldenJSON pins the wire schema: any change to the
+// JSON encoding of Report/Finding/Observation is a breaking change
+// for downstream consumers and must show up as a diff here.
+// Regenerate deliberately with: go test ./spectre -run Golden -update
+func TestReportGoldenJSON(t *testing.T) {
+	rep, err := mustNew(t,
+		spectre.WithBound(20),
+		spectre.WithForwardHazards(false),
+		spectre.WithStopAtFirst(true),
+	).Run(context.Background(), v1Program(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "report.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("report JSON schema drifted from golden fixture\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
+// TestReportJSONRoundTrip checks the schema decodes back into the
+// same values — the property a service consuming findings relies on.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := mustNew(t, spectre.WithBound(20)).Run(context.Background(), v1Program(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back spectre.Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Summary() != rep.Summary() {
+		t.Fatalf("round trip drift:\n got %s\nwant %s", back.Summary(), rep.Summary())
+	}
+	if len(back.Findings) != len(rep.Findings) {
+		t.Fatalf("findings count drifted: %d vs %d", len(back.Findings), len(rep.Findings))
+	}
+	for i := range back.Findings {
+		if back.Findings[i].String() != rep.Findings[i].String() {
+			t.Fatalf("finding %d drifted", i)
+		}
+	}
+}
