@@ -9,6 +9,7 @@ package pitchfork_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"pitchfork/internal/attacks"
@@ -209,6 +210,58 @@ func BenchmarkScheduleGeneration(b *testing.B) {
 				b.ReportMetric(float64(states), "states")
 			})
 		}
+	}
+}
+
+// BenchmarkScheduleGenerationParallel is BenchmarkScheduleGeneration on
+// the work-stealing pool, one worker per CPU core. The acceptance bar
+// for the pool is ≥2× wall-clock on bound=250/fwd=false versus the
+// serial benchmark above, with identical path and state counts.
+func BenchmarkScheduleGenerationParallel(b *testing.B) {
+	workers := runtime.NumCPU()
+	for _, bound := range []int{100, 250} {
+		for _, fwd := range []bool{false, true} {
+			name := fmt.Sprintf("bound=%d/fwd=%t", bound, fwd)
+			b.Run(name, func(b *testing.B) {
+				e, err := sched.NewExplorer(sched.Options{
+					Bound: bound, ForwardHazards: fwd,
+					MaxStates: 2_000_000, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var res sched.Result
+				for i := 0; i < b.N; i++ {
+					res = e.Explore(kocherMachine())
+				}
+				b.ReportMetric(float64(res.Paths), "paths")
+				b.ReportMetric(float64(res.States), "states")
+			})
+		}
+	}
+}
+
+// BenchmarkScheduleGenerationDedup measures fingerprint pruning on the
+// forwarding-hazard exploration, where reconverging fork arms make
+// dedup bite hardest.
+func BenchmarkScheduleGenerationDedup(b *testing.B) {
+	for _, bound := range []int{20, 100} {
+		name := fmt.Sprintf("bound=%d/fwd=true", bound)
+		b.Run(name, func(b *testing.B) {
+			e, err := sched.NewExplorer(sched.Options{
+				Bound: bound, ForwardHazards: true,
+				MaxStates: 2_000_000, DedupEntries: 1 << 20,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res sched.Result
+			for i := 0; i < b.N; i++ {
+				res = e.Explore(kocherMachine())
+			}
+			b.ReportMetric(float64(res.States), "states")
+			b.ReportMetric(float64(res.DedupHits), "dedup-hits")
+		})
 	}
 }
 

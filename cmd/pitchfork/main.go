@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] file.ctl
+//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] [-workers N] [-dedup N] file.ctl
 //
 // Without -bound/-fwd the two-phase procedure runs: bound 250 without
 // forwarding-hazard detection, then bound 20 with it. With -json the
 // stable machine-readable report schema is emitted instead of the
-// human-readable summary.
+// human-readable summary. -workers parallelizes the exploration over a
+// work-stealing pool (0 means all CPU cores); -dedup bounds an optional
+// state-deduplication table that prunes re-converged schedules.
 package main
 
 import (
@@ -29,6 +31,8 @@ func main() {
 	fwd := flag.Bool("fwd", false, "enable forwarding-hazard detection (with -bound)")
 	all := flag.Bool("all", false, "report all violations, not just the first")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable JSON report")
+	workers := flag.Int("workers", 1, "exploration worker goroutines (0 = all CPU cores)")
+	dedup := flag.Int("dedup", 0, "bound of the state-dedup table (0 = off)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pitchfork [flags] file.ctl")
@@ -60,6 +64,8 @@ func main() {
 			spectre.WithBound(*bound),
 			spectre.WithForwardHazards(*fwd),
 			spectre.WithStopAtFirst(!*all),
+			spectre.WithWorkers(*workers),
+			spectre.WithDedup(*dedup),
 		)
 		if err != nil {
 			fatal(err)
@@ -85,7 +91,11 @@ func main() {
 		exitClean(rep.SecretFree && err == nil)
 	}
 
-	an, err := spectre.New(spectre.WithStopAtFirst(!*all))
+	an, err := spectre.New(
+		spectre.WithStopAtFirst(!*all),
+		spectre.WithWorkers(*workers),
+		spectre.WithDedup(*dedup),
+	)
 	if err != nil {
 		fatal(err)
 	}

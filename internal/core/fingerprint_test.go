@@ -1,0 +1,99 @@
+package core
+
+import (
+	"testing"
+
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+)
+
+func fingerprintMachine() *Machine {
+	b := isa.NewBuilder(1)
+	b.Br(isa.OpGt, []isa.Operand{isa.ImmW(4), isa.R(0)}, 2, 4)
+	b.Load(1, isa.ImmW(0x40), isa.R(0))
+	b.Store(isa.R(1), isa.ImmW(0x44))
+	b.Region(0x40, mem.Pub(1), mem.Pub(2), mem.Pub(3), mem.Pub(4))
+	b.Region(0x44, mem.Sec(7))
+	m := New(b.MustBuild())
+	m.Regs.Write(0, mem.Pub(2))
+	return m
+}
+
+func TestFingerprintStableAcrossClones(t *testing.T) {
+	m := fingerprintMachine()
+	if m.Fingerprint() != m.Fingerprint() {
+		t.Fatal("fingerprint must be deterministic")
+	}
+	if got := m.Clone().Fingerprint(); got != m.Fingerprint() {
+		t.Fatal("a clone must fingerprint identically")
+	}
+	// Equal configurations reached by equal steps hash equally.
+	a, b := fingerprintMachine(), fingerprintMachine()
+	for _, d := range []Directive{FetchGuess(true), Fetch(), Execute(2)} {
+		if _, err := a.Step(d); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Step(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal configurations must fingerprint equally")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fingerprintMachine().Fingerprint()
+
+	m := fingerprintMachine()
+	m.PC = 9
+	if m.Fingerprint() == base {
+		t.Fatal("PC must perturb the fingerprint")
+	}
+
+	m = fingerprintMachine()
+	m.Regs.Write(0, mem.Pub(3))
+	if m.Fingerprint() == base {
+		t.Fatal("register contents must perturb the fingerprint")
+	}
+
+	m = fingerprintMachine()
+	m.Mem.Write(0x41, mem.Pub(99))
+	if m.Fingerprint() == base {
+		t.Fatal("memory contents must perturb the fingerprint")
+	}
+
+	m = fingerprintMachine()
+	m.Mem.Write(0x41, mem.Sec(2)) // same word, different label
+	if m.Fingerprint() == base {
+		t.Fatal("labels must perturb the fingerprint")
+	}
+
+	m = fingerprintMachine()
+	m.Retired = 5
+	if m.Fingerprint() == base {
+		t.Fatal("retired count must perturb the fingerprint")
+	}
+
+	m = fingerprintMachine()
+	if _, err := m.Step(FetchGuess(true)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Fingerprint() == base {
+		t.Fatal("buffer contents must perturb the fingerprint")
+	}
+	withBranch := m.Fingerprint()
+	n := fingerprintMachine()
+	if _, err := n.Step(FetchGuess(false)); err != nil {
+		t.Fatal(err)
+	}
+	if n.Fingerprint() == withBranch {
+		t.Fatal("the speculative guess must perturb the fingerprint")
+	}
+
+	m = fingerprintMachine()
+	m.RSB.Push(1, 7)
+	if m.Fingerprint() == base {
+		t.Fatal("RSB journal must perturb the fingerprint")
+	}
+}

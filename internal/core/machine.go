@@ -247,9 +247,7 @@ func (m *Machine) stepFetch(d Directive) ([]Observation, error) {
 			return nil, stall(d, "%s requires a plain fetch", in.Kind)
 		}
 		t := transientOf(in)
-		if in.Kind == isa.KLoad {
-			t.PP = m.PC
-		}
+		t.PP = m.PC
 		m.Buf.Append(t)
 		m.PC = in.Next
 		return nil, nil
@@ -267,6 +265,7 @@ func (m *Machine) stepFetch(d Directive) ([]Observation, error) {
 		m.Buf.Append(&Transient{
 			Kind: TBr, Op: in.Op, Args: in.Args,
 			Guess: guess, True: in.True, False: in.False,
+			PP: m.PC,
 		})
 		m.PC = guess
 		return nil, nil
@@ -276,7 +275,7 @@ func (m *Machine) stepFetch(d Directive) ([]Observation, error) {
 		if d.Kind != DFetchTarget {
 			return nil, stall(d, "jmpi requires fetch: n")
 		}
-		m.Buf.Append(&Transient{Kind: TJmpi, Args: in.Args, Guess: d.Target})
+		m.Buf.Append(&Transient{Kind: TJmpi, Args: in.Args, Guess: d.Target, PP: m.PC})
 		m.PC = d.Target
 		return nil, nil
 
@@ -286,12 +285,13 @@ func (m *Machine) stepFetch(d Directive) ([]Observation, error) {
 		if d.Kind != DFetch {
 			return nil, stall(d, "call requires a plain fetch")
 		}
-		i := m.Buf.Append(&Transient{Kind: TCall})
-		m.Buf.Append(&Transient{Kind: TOp, Dst: mem.RSP, Op: isa.OpSucc, Args: []isa.Operand{isa.R(mem.RSP)}})
+		i := m.Buf.Append(&Transient{Kind: TCall, PP: m.PC})
+		m.Buf.Append(&Transient{Kind: TOp, Dst: mem.RSP, Op: isa.OpSucc, Args: []isa.Operand{isa.R(mem.RSP)}, PP: m.PC})
 		m.Buf.Append(&Transient{
 			Kind: TStore, Src: isa.Imm(mem.Pub(in.RetPt)),
 			ValKnown: true, SVal: mem.Pub(in.RetPt),
 			Args: []isa.Operand{isa.R(mem.RSP)},
+			PP:   m.PC,
 		})
 		m.RSB.Push(i, in.RetPt)
 		m.PC = in.Callee
@@ -317,10 +317,10 @@ func (m *Machine) stepFetch(d Directive) ([]Observation, error) {
 			target = d.Target
 		}
 		retPt := m.PC
-		i := m.Buf.Append(&Transient{Kind: TRet})
+		i := m.Buf.Append(&Transient{Kind: TRet, PP: retPt})
 		m.Buf.Append(&Transient{Kind: TLoad, Dst: mem.RTMP, Args: []isa.Operand{isa.R(mem.RSP)}, PP: retPt})
-		m.Buf.Append(&Transient{Kind: TOp, Dst: mem.RSP, Op: isa.OpPred, Args: []isa.Operand{isa.R(mem.RSP)}})
-		m.Buf.Append(&Transient{Kind: TJmpi, Args: []isa.Operand{isa.R(mem.RTMP)}, Guess: target})
+		m.Buf.Append(&Transient{Kind: TOp, Dst: mem.RSP, Op: isa.OpPred, Args: []isa.Operand{isa.R(mem.RSP)}, PP: retPt})
+		m.Buf.Append(&Transient{Kind: TJmpi, Args: []isa.Operand{isa.R(mem.RTMP)}, Guess: target, PP: retPt})
 		m.RSB.Pop(i)
 		m.PC = target
 		return nil, nil

@@ -60,7 +60,11 @@ type Transient struct {
 	Dep      int      // forwarding store's buffer index, or NoDep (⊥)
 	DataAddr mem.Word // annotated address a
 
-	PP isa.Addr // TLoad / TValue-from-load: program point n of the load
+	// PP is the program point the instruction was fetched at; the
+	// explorer uses it to attribute observations to their source
+	// instruction. For TValue it survives only on resolved loads (the
+	// paper's n annotation); other resolved forms drop it.
+	PP isa.Addr
 
 	// TBr / TJmpi speculation state.
 	Guess isa.Addr // n0, the speculatively followed program point

@@ -5,6 +5,32 @@ import (
 	"sort"
 )
 
+// HashSeed is an arbitrary non-zero starting state for hash chains
+// (the FNV-1a 64-bit offset basis, kept for familiarity); shared with
+// the machine fingerprint in internal/core.
+const HashSeed uint64 = 14695981039346656037
+
+// Mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer used by the machine-state fingerprinting in internal/core and
+// by the incremental cell-hash sums below.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// cellHash hashes one (key, value) cell. Cell hashes are combined with
+// an order-independent sum, which lets Write maintain the whole
+// container's hash incrementally: subtract the old cell, add the new.
+func cellHash(key uint64, v Value) uint64 {
+	h := Mix64(HashSeed ^ key)
+	h = Mix64(h ^ v.W)
+	return Mix64(h ^ uint64(v.L))
+}
+
 // Memory is the labeled data memory µ : V ⇀ V of a configuration: a
 // sparse, word-granular map from addresses to labeled values. Reads of
 // unmapped addresses return a labeled zero by default (the machine is
@@ -14,6 +40,13 @@ import (
 type Memory struct {
 	cells  map[Word]Value
 	strict bool
+	// sum is the order-independent sum of cellHash over all mapped
+	// cells — the O(1) memory half of the machine fingerprint. It is
+	// computed lazily at the first HashSum call and maintained
+	// incrementally by Write from then on (hashed tracks the mode), so
+	// runs that never fingerprint pay nothing.
+	sum    uint64
+	hashed bool
 }
 
 // NewMemory returns an empty, non-strict memory.
@@ -41,7 +74,30 @@ func (m *Memory) Read(a Word) (Value, error) {
 }
 
 // Write sets µ(a) = v.
-func (m *Memory) Write(a Word, v Value) { m.cells[a] = v }
+func (m *Memory) Write(a Word, v Value) {
+	if m.hashed {
+		if old, ok := m.cells[a]; ok {
+			m.sum -= cellHash(a, old)
+		}
+		m.sum += cellHash(a, v)
+	}
+	m.cells[a] = v
+}
+
+// HashSum returns the order-independent hash sum over all mapped
+// cells. Memories with equal contents have equal sums regardless of
+// write order. The first call walks the cells once and switches the
+// memory (and, via Clone, its descendants) to incremental maintenance.
+func (m *Memory) HashSum() uint64 {
+	if !m.hashed {
+		m.hashed = true
+		m.sum = 0
+		for a, v := range m.cells {
+			m.sum += cellHash(a, v)
+		}
+	}
+	return m.sum
+}
 
 // Contains reports whether a is mapped.
 func (m *Memory) Contains(a Word) bool {
@@ -56,7 +112,7 @@ func (m *Memory) Len() int { return len(m.cells) }
 // the machine clones lazily at rollback boundaries and the SCT checker
 // clones per low-equivalent run.
 func (m *Memory) Clone() *Memory {
-	c := &Memory{cells: make(map[Word]Value, len(m.cells)), strict: m.strict}
+	c := &Memory{cells: make(map[Word]Value, len(m.cells)), strict: m.strict, sum: m.sum, hashed: m.hashed}
 	for a, v := range m.cells {
 		c.cells[a] = v
 	}
@@ -76,7 +132,7 @@ func (m *Memory) Addresses() []Word {
 // WriteRegion maps len(vs) consecutive words starting at base.
 func (m *Memory) WriteRegion(base Word, vs []Value) {
 	for i, v := range vs {
-		m.cells[base+Word(i)] = v
+		m.Write(base+Word(i), v)
 	}
 }
 
@@ -119,6 +175,11 @@ func (m *Memory) Equal(o *Memory) bool {
 // rtmp) onto them.
 type RegisterFile struct {
 	regs map[Reg]Value
+	// sum and hashed mirror Memory: the lazily activated, then
+	// incrementally maintained, order-independent hash of all mapped
+	// registers.
+	sum    uint64
+	hashed bool
 }
 
 // Reg names a register.
@@ -147,11 +208,33 @@ func (f *RegisterFile) Read(r Reg) Value {
 }
 
 // Write sets ρ(r) = v.
-func (f *RegisterFile) Write(r Reg, v Value) { f.regs[r] = v }
+func (f *RegisterFile) Write(r Reg, v Value) {
+	if f.hashed {
+		if old, ok := f.regs[r]; ok {
+			f.sum -= cellHash(uint64(r), old)
+		}
+		f.sum += cellHash(uint64(r), v)
+	}
+	f.regs[r] = v
+}
+
+// HashSum returns the order-independent hash sum over all mapped
+// registers; like Memory.HashSum, the first call activates incremental
+// maintenance.
+func (f *RegisterFile) HashSum() uint64 {
+	if !f.hashed {
+		f.hashed = true
+		f.sum = 0
+		for r, v := range f.regs {
+			f.sum += cellHash(uint64(r), v)
+		}
+	}
+	return f.sum
+}
 
 // Clone returns a deep copy of the register file.
 func (f *RegisterFile) Clone() *RegisterFile {
-	c := &RegisterFile{regs: make(map[Reg]Value, len(f.regs))}
+	c := &RegisterFile{regs: make(map[Reg]Value, len(f.regs)), sum: f.sum, hashed: f.hashed}
 	for r, v := range f.regs {
 		c.regs[r] = v
 	}

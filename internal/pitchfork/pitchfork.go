@@ -40,6 +40,15 @@ type Options struct {
 	MaxRetired int
 	// StopAtFirst stops at the first violation.
 	StopAtFirst bool
+	// Workers is the number of exploration goroutines for concrete
+	// mode (0 or 1 = serial; n > 1 = work-stealing pool with
+	// violations reported in deterministic schedule order). The
+	// symbolic explorer is single-threaded and ignores it.
+	Workers int
+	// DedupEntries, when positive, bounds a machine-fingerprint table
+	// that prunes re-converged exploration states in concrete mode
+	// (0 = off). See sched.Options.DedupEntries for the trade-offs.
+	DedupEntries int
 	// SolverSeed seeds the symbolic solver (symbolic mode only).
 	SolverSeed int64
 	// OnViolation, if non-nil, is invoked synchronously as each
@@ -94,6 +103,10 @@ type Report struct {
 	// callback returning false) cut the analysis short.
 	Interrupted bool
 	Mode        string
+	// Workers is the number of exploration goroutines the run used.
+	Workers int
+	// DedupHits counts states pruned by fingerprint deduplication.
+	DedupHits int
 }
 
 // SecretFree reports whether the program was found SCT-clean at the
@@ -128,6 +141,8 @@ func Analyze(m *core.Machine, opts Options) (Report, error) {
 		MaxStates:      opts.MaxStates,
 		MaxRetired:     opts.MaxRetired,
 		StopAtFirst:    opts.StopAtFirst,
+		Workers:        opts.Workers,
+		DedupEntries:   opts.DedupEntries,
 		KeepSchedules:  true,
 		Interrupt:      opts.Interrupt,
 	}
@@ -144,7 +159,7 @@ func Analyze(m *core.Machine, opts Options) (Report, error) {
 	rep := Report{
 		States: res.States, Paths: res.Paths,
 		Truncated: res.Truncated, Interrupted: res.Interrupted,
-		Mode: "concrete",
+		Mode: "concrete", Workers: res.Workers, DedupHits: res.DedupHits,
 	}
 	for _, v := range res.Violations {
 		rep.Violations = append(rep.Violations, violationOf(v))

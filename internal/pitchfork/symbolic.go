@@ -101,8 +101,20 @@ type symState struct {
 	rsb     *core.RSB
 	pcond   symx.PathCondition
 	trace   core.Trace
+	// tracePP records, per trace entry, the program point of the
+	// instruction that produced the observation (mirrors the concrete
+	// explorer's attribution).
+	tracePP []isa.Addr
 	retired int
 	pending map[int]bool
+}
+
+// observe appends observations attributed to the instruction at pp.
+func (s *symState) observe(pp isa.Addr, obs ...core.Observation) {
+	for _, o := range obs {
+		s.trace = append(s.trace, o)
+		s.tracePP = append(s.tracePP, pp)
+	}
 }
 
 func (s *symState) clone() *symState {
@@ -115,6 +127,7 @@ func (s *symState) clone() *symState {
 		rsb:     s.rsb.Clone(),
 		pcond:   s.pcond, // shared immutable prefix
 		trace:   append(core.Trace(nil), s.trace...),
+		tracePP: append([]isa.Addr(nil), s.tracePP...),
 		retired: s.retired,
 		pending: make(map[int]bool, len(s.pending)),
 	}
@@ -247,7 +260,7 @@ func AnalyzeSymbolic(m *SymMachine, opts Options) (Report, error) {
 		opts:   opts,
 		solver: solver,
 		concr:  symx.NewConcretizer(solver),
-		rep:    &Report{Mode: "symbolic"},
+		rep:    &Report{Mode: "symbolic", Workers: 1},
 	}
 	root := &symState{
 		regs:    make(map[isa.Reg]symx.Expr, len(m.Regs)),
@@ -295,7 +308,7 @@ func (a *symbolicAnalyzer) flag(st *symState, at int) {
 		Obs:   st.trace[at],
 		Trace: append(core.Trace(nil), st.trace[:at+1]...),
 		Kind:  a.classify(st),
-		PC:    uint64(st.pc),
+		PC:    uint64(st.tracePP[at]),
 	}
 	if env, ok := a.solver.Solve(st.pcond); ok {
 		v.Model = make(map[string]uint64, len(env))
@@ -363,7 +376,7 @@ func (a *symbolicAnalyzer) advance(st *symState) (bool, []*symState) {
 			if args, ok := st.resolveArgs(st.max()+1, in.Args); ok {
 				target := addrExpr(args)
 				if tv, ok := target.Concrete(); ok {
-					st.append(&symTransient{kind: core.TJmpi, args: in.Args, guess: tv.W})
+					st.append(&symTransient{kind: core.TJmpi, args: in.Args, guess: tv.W, pp: st.pc})
 					st.pc = tv.W
 					return false, []*symState{st}
 				}
@@ -372,12 +385,13 @@ func (a *symbolicAnalyzer) advance(st *symState) (bool, []*symState) {
 			}
 			// Operands pending: execute below first.
 		case isa.KCall:
-			i := st.append(&symTransient{kind: core.TCall})
-			st.append(&symTransient{kind: core.TOp, dst: mem.RSP, op: isa.OpSucc, args: []isa.Operand{isa.R(mem.RSP)}})
+			i := st.append(&symTransient{kind: core.TCall, pp: st.pc})
+			st.append(&symTransient{kind: core.TOp, dst: mem.RSP, op: isa.OpSucc, args: []isa.Operand{isa.R(mem.RSP)}, pp: st.pc})
 			st.append(&symTransient{
 				kind: core.TStore, src: isa.Imm(mem.Pub(in.RetPt)),
 				valKnown: true, sval: symx.CW(in.RetPt),
 				args: []isa.Operand{isa.R(mem.RSP)},
+				pp:   st.pc,
 			})
 			st.rsb.Push(i, in.RetPt)
 			st.pc = in.Callee
@@ -391,10 +405,10 @@ func (a *symbolicAnalyzer) advance(st *symState) (bool, []*symState) {
 					break // execute pending work first
 				}
 			}
-			i := st.append(&symTransient{kind: core.TRet})
+			i := st.append(&symTransient{kind: core.TRet, pp: st.pc})
 			st.append(&symTransient{kind: core.TLoad, dst: mem.RTMP, args: []isa.Operand{isa.R(mem.RSP)}, pp: st.pc})
-			st.append(&symTransient{kind: core.TOp, dst: mem.RSP, op: isa.OpPred, args: []isa.Operand{isa.R(mem.RSP)}})
-			st.append(&symTransient{kind: core.TJmpi, args: []isa.Operand{isa.R(mem.RTMP)}, guess: target})
+			st.append(&symTransient{kind: core.TOp, dst: mem.RSP, op: isa.OpPred, args: []isa.Operand{isa.R(mem.RSP)}, pp: st.pc})
+			st.append(&symTransient{kind: core.TJmpi, args: []isa.Operand{isa.R(mem.RTMP)}, guess: target, pp: st.pc})
 			st.rsb.Pop(i)
 			st.pc = target
 			return false, []*symState{st}
@@ -467,25 +481,25 @@ func (st *symState) fetchBranch(in isa.Instr, taken bool) {
 	if taken {
 		guess = in.True
 	}
-	st.append(&symTransient{kind: core.TBr, op: in.Op, args: in.Args, guess: guess, tTrue: in.True, tFalse: in.False})
+	st.append(&symTransient{kind: core.TBr, op: in.Op, args: in.Args, guess: guess, tTrue: in.True, tFalse: in.False, pp: st.pc})
 	st.pc = guess
 }
 
 func (st *symState) fetchSimple(in isa.Instr) {
 	switch in.Kind {
 	case isa.KOp:
-		st.append(&symTransient{kind: core.TOp, dst: in.Dst, op: in.Op, args: in.Args})
+		st.append(&symTransient{kind: core.TOp, dst: in.Dst, op: in.Op, args: in.Args, pp: st.pc})
 	case isa.KLoad:
 		st.append(&symTransient{kind: core.TLoad, dst: in.Dst, args: in.Args, pp: st.pc})
 	case isa.KStore:
-		t := &symTransient{kind: core.TStore, src: in.Src, args: in.Args}
+		t := &symTransient{kind: core.TStore, src: in.Src, args: in.Args, pp: st.pc}
 		if !in.Src.IsReg {
 			t.valKnown = true
 			t.sval = symx.C(in.Src.Imm)
 		}
 		st.append(t)
 	case isa.KFence:
-		st.append(&symTransient{kind: core.TFence})
+		st.append(&symTransient{kind: core.TFence, pp: st.pc})
 	}
 	st.pc = in.Next
 }
@@ -654,15 +668,16 @@ func (a *symbolicAnalyzer) execControl(st *symState, i int) (bool, []*symState) 
 // guess, and emits the jump observation with the condition's label.
 func (a *symbolicAnalyzer) settleControl(st *symState, i int, actual isa.Addr, l mem.Label) {
 	t, _ := st.get(i)
+	pp := t.pp
 	if actual == t.guess {
 		st.buf[i-st.base] = &symTransient{kind: core.TJump, target: actual}
-		st.trace = append(st.trace, core.JumpObs(actual, l))
+		st.observe(pp, core.JumpObs(actual, l))
 		return
 	}
 	st.truncateFrom(i)
 	st.append(&symTransient{kind: core.TJump, target: actual})
 	st.pc = actual
-	st.trace = append(st.trace, core.RollbackObs(), core.JumpObs(actual, l))
+	st.observe(pp, core.RollbackObs(), core.JumpObs(actual, l))
 }
 
 func (a *symbolicAnalyzer) execStoreValue(st *symState, i int) bool {
@@ -707,12 +722,12 @@ func (a *symbolicAnalyzer) execStoreAddr(st *symState, i int) bool {
 	t.saddr = aw
 	t.saddrL = l
 	if hazardAt == 0 {
-		st.trace = append(st.trace, core.FwdObs(aw, l))
+		st.observe(t.pp, core.FwdObs(aw, l))
 		return true
 	}
 	st.truncateFrom(hazardAt)
 	st.pc = restart
-	st.trace = append(st.trace, core.RollbackObs(), core.FwdObs(aw, l))
+	st.observe(t.pp, core.RollbackObs(), core.FwdObs(aw, l))
 	return true
 }
 
@@ -744,14 +759,14 @@ func (a *symbolicAnalyzer) execLoad(st *symState, i int) bool {
 			kind: core.TValue, dst: t.dst, val: s.sval,
 			fromLoad: true, dep: j, dataAddr: aw, pp: t.pp,
 		}
-		st.trace = append(st.trace, core.FwdObs(aw, l))
+		st.observe(t.pp, core.FwdObs(aw, l))
 		return true
 	}
 	st.buf[i-st.base] = &symTransient{
 		kind: core.TValue, dst: t.dst, val: st.mem.Read(aw),
 		fromLoad: true, dep: core.NoDep, dataAddr: aw, pp: t.pp,
 	}
-	st.trace = append(st.trace, core.ReadObs(aw, l))
+	st.observe(t.pp, core.ReadObs(aw, l))
 	return true
 }
 
@@ -773,7 +788,7 @@ func (a *symbolicAnalyzer) retire(st *symState) bool {
 		return true
 	case core.TStore:
 		st.mem.Write(t.saddr, t.sval)
-		st.trace = append(st.trace, core.WriteObs(t.saddr, t.saddrL))
+		st.observe(t.pp, core.WriteObs(t.saddr, t.saddrL))
 		st.popMinN(1)
 		st.retired++
 		return true
@@ -785,7 +800,7 @@ func (a *symbolicAnalyzer) retire(st *symState) bool {
 		}
 		st.regs[mem.RSP] = rsp.val
 		st.mem.Write(sr.saddr, sr.sval)
-		st.trace = append(st.trace, core.WriteObs(sr.saddr, sr.saddrL))
+		st.observe(t.pp, core.WriteObs(sr.saddr, sr.saddrL))
 		st.popMinN(3)
 		st.retired++
 		return true

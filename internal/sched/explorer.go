@@ -23,6 +23,11 @@
 // Soundness (Thm. B.20): a secret-labeled observation under any
 // schedule implies one under a schedule in this set, so exploring only
 // these schedules suffices to detect SCT violations up to the bound.
+//
+// The exploration runs on one goroutine by default; Options.Workers
+// switches to a work-stealing pool (see parallel.go), and
+// Options.DedupEntries enables fingerprint-based pruning of
+// re-converged states.
 package sched
 
 import (
@@ -55,13 +60,34 @@ type Options struct {
 	// violation (memory-heavy for deep runs; on by default via
 	// Explore).
 	KeepSchedules bool
+	// Workers is the number of exploration goroutines. 0 and 1 run the
+	// classic serial depth-first exploration; n > 1 runs the
+	// work-stealing parallel explorer of parallel.go, whose violations
+	// are reported in deterministic schedule order (not discovery
+	// order). Full parallel explorations are fully deterministic;
+	// under an early stop (StopAtFirst, Interrupt, a stopping
+	// OnViolation, or truncation) which states were reached before the
+	// stop propagated is timing-dependent, so the stopping run's
+	// States/Paths counts — and, for StopAtFirst, which single
+	// violation is reported — may vary between runs.
+	Workers int
+	// DedupEntries, when positive, bounds a machine-fingerprint table
+	// that prunes states whose configuration was already visited —
+	// many forwarding-fork arms reconverge, so dedup cuts states
+	// independently of parallelism. Pruning trades exactness for
+	// speed: path counts shrink, and a 64-bit fingerprint collision
+	// could in principle prune a genuinely new state. 0 disables.
+	DedupEntries int
 	// OnViolation, if non-nil, is invoked synchronously as each
 	// violation is recorded, before exploration continues. Returning
-	// false stops the exploration early, like StopAtFirst.
+	// false stops the exploration early, like StopAtFirst. With
+	// Workers > 1 the callback is serialized by the pool but may be
+	// invoked from different goroutines.
 	OnViolation func(Violation) bool
 	// Interrupt, if non-nil, is polled once per explored state.
 	// Returning true aborts the exploration; the violations found so
-	// far remain in the result and Result.Interrupted is set.
+	// far remain in the result and Result.Interrupted is set. With
+	// Workers > 1 it must be safe for concurrent calls.
 	Interrupt func() bool
 }
 
@@ -79,7 +105,7 @@ type Violation struct {
 	Schedule core.Schedule // schedule prefix that produced it (if kept)
 	Trace    core.Trace    // observation trace up to and including Obs
 	Kind     VariantKind   // heuristic Spectre-variant classification
-	PC       isa.Addr      // program point of the machine when flagged
+	PC       isa.Addr      // program point of the instruction that produced Obs
 }
 
 // String renders the violation compactly.
@@ -129,30 +155,41 @@ type Result struct {
 	// States is the number of explored machine states.
 	States int
 	// Paths is the number of completed exploration paths (halted,
-	// budget-exhausted, or stopped at a violation).
+	// budget-exhausted, stopped at a violation, or pruned by dedup).
 	Paths int
 	// Truncated reports whether the MaxStates budget was hit.
 	Truncated bool
 	// Interrupted reports whether Options.Interrupt (or an OnViolation
 	// callback returning false) cut the exploration short.
 	Interrupted bool
+	// DedupHits is the number of states pruned because their machine
+	// fingerprint was already in the dedup table.
+	DedupHits int
+	// Workers is the number of exploration goroutines the run used.
+	Workers int
 }
 
 // SecretFree reports whether no violation was found.
 func (r Result) SecretFree() bool { return len(r.Violations) == 0 }
 
-// Explorer walks the worst-case schedules of a machine.
+// Explorer walks the worst-case schedules of a machine. An Explorer is
+// immutable after construction: all per-exploration state lives in the
+// Explore call, so a single Explorer is safe for concurrent and
+// interleaved Explore calls.
 type Explorer struct {
 	opts Options
-	// stopped is set when an OnViolation callback asks to stop; it is
-	// reset at the start of each Explore.
-	stopped bool
 }
 
 // NewExplorer validates options and returns an explorer.
 func NewExplorer(opts Options) (*Explorer, error) {
 	if opts.Bound < 1 {
 		return nil, fmt.Errorf("sched: speculation bound must be positive, got %d", opts.Bound)
+	}
+	if opts.Workers < 0 {
+		return nil, fmt.Errorf("sched: workers must be non-negative, got %d", opts.Workers)
+	}
+	if opts.DedupEntries < 0 {
+		return nil, fmt.Errorf("sched: dedup entries must be non-negative, got %d", opts.DedupEntries)
 	}
 	if opts.MaxStates == 0 {
 		opts.MaxStates = DefaultMaxStates
@@ -168,6 +205,10 @@ type state struct {
 	m     *core.Machine
 	sched core.Schedule
 	trace core.Trace
+	// tracePP records, per trace entry, the program point of the
+	// instruction that produced the observation — so violations point
+	// at the leaking instruction, not the fetch head at detection time.
+	tracePP []isa.Addr
 	// loadChoicesDone marks load indices whose forwarding fork has
 	// already been taken in this state (so re-deciding after a partial
 	// store resolution re-forks correctly but not infinitely).
@@ -179,6 +220,7 @@ func (s *state) clone() *state {
 		m:          s.m.Clone(),
 		sched:      append(core.Schedule(nil), s.sched...),
 		trace:      append(core.Trace(nil), s.trace...),
+		tracePP:    append([]isa.Addr(nil), s.tracePP...),
 		pendingFwd: make(map[int]bool, len(s.pendingFwd)),
 	}
 	for k, v := range s.pendingFwd {
@@ -190,16 +232,28 @@ func (s *state) clone() *state {
 // Explore runs the worst-case schedules from the machine's current
 // configuration. The machine itself is not mutated.
 func (e *Explorer) Explore(m *core.Machine) Result {
-	var res Result
-	e.stopped = false
+	var dedup *dedupTable
+	if e.opts.DedupEntries > 0 {
+		dedup = newDedupTable(e.opts.DedupEntries)
+	}
 	root := &state{m: m.Clone(), pendingFwd: make(map[int]bool)}
+	if e.opts.Workers > 1 {
+		return exploreParallel(&e.opts, dedup, root)
+	}
+	return exploreSerial(&e.opts, dedup, root)
+}
+
+// exploreSerial is the classic single-goroutine depth-first driver.
+func exploreSerial(opts *Options, dedup *dedupTable, root *state) Result {
+	res := Result{Workers: 1}
+	stopped := false
 	stack := []*state{root}
 	for len(stack) > 0 {
-		if res.States >= e.opts.MaxStates {
+		if res.States >= opts.MaxStates {
 			res.Truncated = true
 			break
 		}
-		if e.opts.Interrupt != nil && e.opts.Interrupt() {
+		if opts.Interrupt != nil && opts.Interrupt() {
 			res.Interrupted = true
 			break
 		}
@@ -207,14 +261,23 @@ func (e *Explorer) Explore(m *core.Machine) Result {
 		stack = stack[:len(stack)-1]
 		res.States++
 
-		done, forks := e.advance(st, &res)
+		done, deduped, viol, forks := advance(opts, dedup, st)
+		if viol != nil {
+			res.Violations = append(res.Violations, *viol)
+			if opts.OnViolation != nil && !opts.OnViolation(*viol) {
+				stopped = true
+			}
+		}
+		if deduped {
+			res.DedupHits++
+		}
 		if done {
 			res.Paths++
-			if e.stopped {
+			if stopped {
 				res.Interrupted = true
 				break
 			}
-			if e.opts.StopAtFirst && len(res.Violations) > 0 {
+			if opts.StopAtFirst && len(res.Violations) > 0 {
 				break
 			}
 			continue
@@ -224,10 +287,14 @@ func (e *Explorer) Explore(m *core.Machine) Result {
 	return res
 }
 
-// advance pushes st forward by one strategy decision. It returns
-// done=true when the path is finished, otherwise the successor states
-// (one for deterministic steps, several at fork points).
-func (e *Explorer) advance(st *state, res *Result) (bool, []*state) {
+// advance pushes st forward by one strategy decision. It is a pure
+// function of the options, the dedup table, and the state — it touches
+// no explorer-level mutable state, so serial and parallel drivers share
+// it. done=true means the path is finished (with viol set if it ended
+// in a violation, deduped set if it was pruned as a revisited
+// configuration); otherwise forks holds the successor states (one for
+// deterministic steps, several at fork points).
+func advance(opts *Options, dedup *dedupTable, st *state) (done, deduped bool, viol *Violation, forks []*state) {
 	m := st.m
 
 	// Leak check on everything observed so far.
@@ -236,40 +303,43 @@ func (e *Explorer) advance(st *state, res *Result) (bool, []*state) {
 			Obs:   st.trace[i],
 			Trace: append(core.Trace(nil), st.trace[:i+1]...),
 			Kind:  classify(m, st.trace, i),
-			PC:    m.PC,
+			PC:    st.tracePP[i],
 		}
-		if e.opts.KeepSchedules {
+		if opts.KeepSchedules {
 			v.Schedule = append(core.Schedule(nil), st.sched...)
 		}
-		res.Violations = append(res.Violations, v)
-		if e.opts.OnViolation != nil && !e.opts.OnViolation(v) {
-			e.stopped = true
-		}
-		return true, nil
+		return true, false, &v, nil
 	}
-	if m.Halted() || m.Retired >= e.opts.MaxRetired {
-		return true, nil
+	if m.Halted() || m.Retired >= opts.MaxRetired {
+		return true, false, nil, nil
+	}
+	// Dedup check after the leak and termination checks: a pruned
+	// state is always secret-free so far, so its subtree's violations
+	// are exactly those reachable from the first-visited equivalent
+	// configuration.
+	if dedup != nil && dedup.seen(m.Fingerprint()) {
+		return true, true, nil, nil
 	}
 
 	// Fetch phase: eager until the bound.
-	if m.Buf.Len() < e.opts.Bound {
+	if m.Buf.Len() < opts.Bound {
 		if in, ok := m.Prog.At(m.PC); ok {
 			switch in.Kind {
 			case isa.KBr:
 				// Fork both guesses; both arms delay branch execution.
 				a, b := st, st.clone()
-				if e.step(a, core.FetchGuess(true)) && e.step(b, core.FetchGuess(false)) {
-					return false, []*state{a, b}
+				if step(a, core.FetchGuess(true)) && step(b, core.FetchGuess(false)) {
+					return false, false, nil, []*state{a, b}
 				}
-				return true, nil
+				return true, false, nil, nil
 			case isa.KJmpi:
 				// The tool follows the architecturally correct target
 				// (it does not model indirect-jump speculation, §4).
 				if target, ok := peekJmpi(m, in); ok {
-					if e.step(st, core.FetchTarget(target)) {
-						return false, []*state{st}
+					if step(st, core.FetchTarget(target)) {
+						return false, false, nil, []*state{st}
 					}
-					return true, nil
+					return true, false, nil, nil
 				}
 				// Target operands pending: fall through to execution.
 			case isa.KRet:
@@ -277,29 +347,29 @@ func (e *Explorer) advance(st *state, res *Result) (bool, []*state) {
 					// The tool does not model RSB underflow attacks;
 					// predict through the in-memory return address.
 					if target, ok := peekRet(m); ok {
-						if e.step(st, core.FetchTarget(target)) {
-							return false, []*state{st}
+						if step(st, core.FetchTarget(target)) {
+							return false, false, nil, []*state{st}
 						}
-						return true, nil
+						return true, false, nil, nil
 					}
 					break // execute pending work first
 				}
-				if e.step(st, core.Fetch()) {
-					return false, []*state{st}
+				if step(st, core.Fetch()) {
+					return false, false, nil, []*state{st}
 				}
-				return true, nil
+				return true, false, nil, nil
 			default:
-				if e.step(st, core.Fetch()) {
-					return false, []*state{st}
+				if step(st, core.Fetch()) {
+					return false, false, nil, []*state{st}
 				}
-				return true, nil
+				return true, false, nil, nil
 			}
 		}
 	}
 
 	// Execute phase: oldest actionable instruction first.
-	if forks, acted := e.executePhase(st); acted {
-		return false, forks
+	if forks, acted := executePhase(opts, st); acted {
+		return false, false, nil, forks
 	}
 
 	// Nothing else is actionable: retire if possible, otherwise force
@@ -310,11 +380,11 @@ func (e *Explorer) advance(st *state, res *Result) (bool, []*state) {
 		// Empty buffer and nothing fetchable at bound>0: halt was
 		// handled above, so this is a wedged path (e.g. jmpi whose
 		// operands can never resolve).
-		return true, nil
+		return true, false, nil, nil
 	}
 	if t.Resolved() {
-		if e.step(st, core.Retire()) {
-			return false, []*state{st}
+		if step(st, core.Retire()) {
+			return false, false, nil, []*state{st}
 		}
 		// A call/ret marker retires only with its whole expansion
 		// resolved: force the first unresolved member.
@@ -323,32 +393,32 @@ func (e *Explorer) advance(st *state, res *Result) (bool, []*state) {
 			if !ok || u.Resolved() {
 				continue
 			}
-			if e.forceOne(st, j, u) {
-				return false, []*state{st}
+			if forceOne(st, j, u) {
+				return false, false, nil, []*state{st}
 			}
 			break
 		}
-		return true, nil
+		return true, false, nil, nil
 	}
-	if e.forceOne(st, i, t) {
-		return false, []*state{st}
+	if forceOne(st, i, t) {
+		return false, false, nil, []*state{st}
 	}
-	return true, nil
+	return true, false, nil, nil
 }
 
 // forceOne issues the directive that makes progress on an unresolved
 // instruction regardless of the deferral rules — used when nothing can
 // proceed otherwise (delayed branches at the head, deferred store
 // addresses blocking retirement, call/ret expansion members).
-func (e *Explorer) forceOne(st *state, i int, t *core.Transient) bool {
+func forceOne(st *state, i int, t *core.Transient) bool {
 	switch t.Kind {
 	case core.TBr, core.TJmpi, core.TLoad, core.TOp:
-		return e.step(st, core.Execute(i))
+		return step(st, core.Execute(i))
 	case core.TStore:
 		if !t.ValKnown {
-			return e.step(st, core.ExecuteValue(i))
+			return step(st, core.ExecuteValue(i))
 		}
-		return e.step(st, core.ExecuteAddr(i))
+		return step(st, core.ExecuteAddr(i))
 	}
 	return false
 }
@@ -357,7 +427,7 @@ func (e *Explorer) forceOne(st *state, i int, t *core.Transient) bool {
 // eagerly executable instruction, applying the deferral rules for
 // branches (always delayed) and store addresses (delayed under
 // forwarding-hazard mode). Loads fork over forwarding outcomes.
-func (e *Explorer) executePhase(st *state) ([]*state, bool) {
+func executePhase(opts *Options, st *state) ([]*state, bool) {
 	m := st.m
 	for _, i := range m.Buf.Indices() {
 		t, _ := m.Buf.Get(i)
@@ -366,7 +436,7 @@ func (e *Explorer) executePhase(st *state) ([]*state, bool) {
 		}
 		switch t.Kind {
 		case core.TOp:
-			if e.step(st, core.Execute(i)) {
+			if step(st, core.Execute(i)) {
 				return []*state{st}, true
 			}
 		case core.TJmpi:
@@ -376,26 +446,26 @@ func (e *Explorer) executePhase(st *state) ([]*state, bool) {
 			// the speculative stale-return window of the Fig. 10 gadget
 			// — the transient return must happen *before* the pending
 			// store address resolves and flags the hazard.
-			if e.step(st, core.Execute(i)) {
+			if step(st, core.Execute(i)) {
 				return []*state{st}, true
 			}
 		case core.TBr:
 			continue // branches resolve in the second pass below
 		case core.TStore:
 			if !t.ValKnown {
-				if e.step(st, core.ExecuteValue(i)) {
+				if step(st, core.ExecuteValue(i)) {
 					return []*state{st}, true
 				}
 				continue
 			}
-			if !t.AddrKnown && !e.opts.ForwardHazards {
-				if e.step(st, core.ExecuteAddr(i)) {
+			if !t.AddrKnown && !opts.ForwardHazards {
+				if step(st, core.ExecuteAddr(i)) {
 					return []*state{st}, true
 				}
 			}
 			continue
 		case core.TLoad:
-			forks, acted := e.loadFork(st, i)
+			forks, acted := loadFork(opts, st, i)
 			if acted {
 				return forks, true
 			}
@@ -412,7 +482,7 @@ func (e *Explorer) executePhase(st *state) ([]*state, bool) {
 		if !ok || t.Kind != core.TBr || m.Buf.FenceBefore(i) {
 			continue
 		}
-		if e.step(st, core.Execute(i)) {
+		if step(st, core.Execute(i)) {
 			return []*state{st}, true
 		}
 	}
@@ -425,10 +495,10 @@ func (e *Explorer) executePhase(st *state) ([]*state, bool) {
 // arm executes the load immediately (reading stale memory or
 // forwarding from an already-resolved store), and one arm per pending
 // store resolves that store's address first, then re-decides.
-func (e *Explorer) loadFork(st *state, i int) ([]*state, bool) {
+func loadFork(opts *Options, st *state, i int) ([]*state, bool) {
 	m := st.m
 	var pending []int
-	if e.opts.ForwardHazards && !st.pendingFwd[i] {
+	if opts.ForwardHazards && !st.pendingFwd[i] {
 		for j := m.Buf.Min(); j < i; j++ {
 			if s, ok := m.Buf.Get(j); ok && s.Kind == core.TStore && !s.AddrKnown && s.ValKnown {
 				pending = append(pending, j)
@@ -436,7 +506,7 @@ func (e *Explorer) loadFork(st *state, i int) ([]*state, bool) {
 		}
 	}
 	if len(pending) == 0 {
-		if e.step(st, core.Execute(i)) {
+		if step(st, core.Execute(i)) {
 			return []*state{st}, true
 		}
 		return nil, false
@@ -445,7 +515,7 @@ func (e *Explorer) loadFork(st *state, i int) ([]*state, bool) {
 	// Arm 0: execute the load now, skipping the pending stores.
 	now := st.clone()
 	now.pendingFwd[i] = true
-	if e.step(now, core.Execute(i)) {
+	if step(now, core.Execute(i)) {
 		forks = append(forks, now)
 	}
 	// One arm per pending store: resolve its address first. The load
@@ -453,32 +523,52 @@ func (e *Explorer) loadFork(st *state, i int) ([]*state, bool) {
 	// remaining pending stores).
 	for _, j := range pending {
 		arm := st.clone()
-		if e.step(arm, core.ExecuteAddr(j)) {
+		if step(arm, core.ExecuteAddr(j)) {
 			forks = append(forks, arm)
 		}
 	}
 	return forks, len(forks) > 0
 }
 
-// step applies d to the state, appending schedule and trace; it
-// reports whether the directive applied. Stalls end the path quietly;
-// faults are treated the same (the path cannot continue). A rollback
-// invalidates the load-fork bookkeeping, since buffer indices are
-// reused by re-fetched instructions.
-func (e *Explorer) step(st *state, d core.Directive) bool {
+// step applies d to the state, appending schedule, trace, and source
+// program points; it reports whether the directive applied. Stalls end
+// the path quietly; faults are treated the same (the path cannot
+// continue). A rollback invalidates the load-fork bookkeeping, since
+// buffer indices are reused by re-fetched instructions.
+func step(st *state, d core.Directive) bool {
+	pp := sourcePoint(st.m, d)
 	obs, err := st.m.Step(d)
 	if err != nil {
 		return false
 	}
 	st.sched = append(st.sched, d)
-	st.trace = append(st.trace, obs...)
 	for _, o := range obs {
+		st.trace = append(st.trace, o)
+		st.tracePP = append(st.tracePP, pp)
 		if o.Kind == core.ORollback {
 			st.pendingFwd = make(map[int]bool)
-			break
 		}
 	}
 	return true
+}
+
+// sourcePoint resolves, before the directive runs, the program point
+// of the instruction it acts on — the point any observations the step
+// produces are attributed to. Execute-family directives name a buffer
+// index; retire acts on the buffer head; fetch directives produce no
+// observations, so the fetch head is an adequate fallback.
+func sourcePoint(m *core.Machine, d core.Directive) isa.Addr {
+	switch d.Kind {
+	case core.DExecute, core.DExecValue, core.DExecAddr, core.DExecFwd:
+		if t, ok := m.Buf.Get(d.I); ok {
+			return t.PP
+		}
+	case core.DRetire:
+		if t, ok := m.Buf.Get(m.Buf.Min()); ok {
+			return t.PP
+		}
+	}
+	return m.PC
 }
 
 func peekJmpi(m *core.Machine, in isa.Instr) (isa.Addr, bool) {

@@ -67,18 +67,39 @@ func (a *Analyzer) Findings(ctx context.Context, p *Program) iter.Seq[Finding] {
 
 // ProcedureReport aggregates the two phases of the paper's §4.2.1
 // evaluation procedure. Phase2 is nil when phase 1 already flagged a
-// violation (or was interrupted).
+// violation (or was interrupted before phase 2 could run).
 type ProcedureReport struct {
 	Phase1 *Report `json:"phase1"`
 	Phase2 *Report `json:"phase2,omitempty"`
 }
 
-// SecretFree reports whether both phases came back clean.
+// SecretFree reports whether both phases ran to completion and came
+// back clean. It is false both for flagged and for interrupted
+// procedures — a cut-short run proves nothing — so callers deciding
+// between "clean", "flagged", and "inconclusive" should consult
+// Interrupted first.
 func (pr *ProcedureReport) SecretFree() bool {
+	if pr.Interrupted() {
+		return false
+	}
 	if pr.Phase1 == nil || !pr.Phase1.SecretFree {
 		return false
 	}
 	return pr.Phase2 != nil && pr.Phase2.SecretFree
+}
+
+// Interrupted reports whether the procedure was cut short before it
+// could reach a verdict: phase 1 interrupted, or phase 1 clean but
+// phase 2 missing or interrupted. A procedure that flagged a violation
+// in a completed phase 1 is not interrupted — it reached its verdict.
+func (pr *ProcedureReport) Interrupted() bool {
+	if pr.Phase1 == nil || pr.Phase1.Interrupted {
+		return true
+	}
+	if !pr.Phase1.SecretFree {
+		return false
+	}
+	return pr.Phase2 == nil || pr.Phase2.Interrupted
 }
 
 // Findings returns the findings of both phases in discovery order.
@@ -112,6 +133,13 @@ func (a *Analyzer) RunProcedure(ctx context.Context, p *Program) (*ProcedureRepo
 // wiring context cancellation and the streaming callback into the
 // exploration hooks.
 func (a *Analyzer) run(ctx context.Context, p *Program, bound int, fwd bool, yield func(Finding) bool) (*Report, error) {
+	return a.runWith(ctx, p, bound, fwd, yield, a.cfg.workers)
+}
+
+// runWith is run with an explicit worker count — the batch API fans
+// programs across the pool and runs each program's exploration on a
+// single goroutine.
+func (a *Analyzer) runWith(ctx context.Context, p *Program, bound int, fwd bool, yield func(Finding) bool, workers int) (*Report, error) {
 	if p == nil {
 		return nil, fmt.Errorf("spectre: nil program")
 	}
@@ -124,6 +152,8 @@ func (a *Analyzer) run(ctx context.Context, p *Program, bound int, fwd bool, yie
 		MaxStates:      a.cfg.maxStates,
 		MaxRetired:     a.cfg.maxRetired,
 		StopAtFirst:    a.cfg.stopAtFirst,
+		Workers:        workers,
+		DedupEntries:   a.cfg.dedupEntries,
 		SolverSeed:     a.cfg.solverSeed,
 		Interrupt:      func() bool { return ctx.Err() != nil },
 	}

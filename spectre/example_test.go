@@ -59,5 +59,5 @@ func Example() {
 	// Output:
 	// sequentially constant-time: true
 	// speculatively constant-time: false
-	// spectre-v1: read 229sec at pc 4
+	// spectre-v1: read 229sec at pc 3
 }

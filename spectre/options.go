@@ -1,6 +1,9 @@
 package spectre
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // The speculation bounds of the paper's §4.2.1 evaluation procedure.
 const (
@@ -26,12 +29,15 @@ type config struct {
 	stopAtFirst    bool
 	symbolic       bool
 	solverSeed     int64
+	workers        int
+	dedupEntries   int
 }
 
 func defaultConfig() config {
 	return config{
 		bound:          DefaultBound,
 		forwardHazards: true,
+		workers:        1,
 	}
 }
 
@@ -116,6 +122,51 @@ func WithSymbolic(on bool) Option {
 func WithSolverSeed(seed int64) Option {
 	return func(c *config) error {
 		c.solverSeed = seed
+		return nil
+	}
+}
+
+// WithWorkers sets the number of exploration goroutines. 1 (the
+// default) runs the classic serial depth-first exploration; n > 1 runs
+// a work-stealing pool over the schedule tree, with findings reported
+// in deterministic schedule order rather than discovery order; 0
+// selects runtime.NumCPU(). Full parallel explorations are fully
+// deterministic; runs cut short early (WithStopAtFirst, cancellation,
+// a stopping Stream callback, or a MaxStates truncation) depend on how
+// far workers got before the stop propagated, so their state/path
+// counts — and, under WithStopAtFirst, which single finding is
+// reported — may vary between runs. The same setting sizes the
+// fan-out of AnalyzeBatch/RunAll. Symbolic-mode exploration is
+// single-threaded regardless, though batch fan-out still applies.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("spectre: workers must be non-negative, got %d", n)
+		}
+		if n == 0 {
+			n = runtime.NumCPU()
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithDedup bounds a machine-fingerprint table at maxEntries states;
+// exploration states whose full configuration (PC, registers, memory,
+// reorder buffer, RSB) was already visited are pruned. Many
+// forwarding-fork arms reconverge, so dedup cuts explored states
+// independently of parallelism — at the price of exactness: Paths
+// shrinks, schedules for pruned duplicates are not enumerated, and a
+// 64-bit fingerprint collision could in principle prune a genuinely
+// new state. The violation set is preserved (every pruned state's
+// future is explored from its first-visited twin). 0 (the default)
+// disables deduplication; concrete mode only.
+func WithDedup(maxEntries int) Option {
+	return func(c *config) error {
+		if maxEntries < 0 {
+			return fmt.Errorf("spectre: dedup entries must be non-negative, got %d", maxEntries)
+		}
+		c.dedupEntries = maxEntries
 		return nil
 	}
 }

@@ -134,6 +134,12 @@ type Report struct {
 	// Interrupted reports whether the run was cut short — by context
 	// cancellation or by a Stream callback returning false.
 	Interrupted bool `json:"interrupted"`
+	// Workers is the number of exploration goroutines the run used
+	// (see WithWorkers).
+	Workers int `json:"workers"`
+	// DedupHits counts exploration states pruned by fingerprint
+	// deduplication (see WithDedup); 0 when dedup is off.
+	DedupHits int `json:"dedupHits"`
 }
 
 // Summary renders a one-line result.
@@ -248,6 +254,8 @@ func reportOf(rep pitchfork.Report, bound int, fwd bool) *Report {
 		Paths:          rep.Paths,
 		Truncated:      rep.Truncated,
 		Interrupted:    rep.Interrupted,
+		Workers:        rep.Workers,
+		DedupHits:      rep.DedupHits,
 	}
 	for _, v := range rep.Violations {
 		out.Findings = append(out.Findings, findingOf(v))

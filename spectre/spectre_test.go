@@ -215,6 +215,11 @@ func TestSymbolicModeWithWitness(t *testing.T) {
 	if _, ok := rep.Findings[0].Witness["x"]; !ok {
 		t.Fatalf("finding must carry a witness for x, got %v", rep.Findings[0].Witness)
 	}
+	// PC attribution matches concrete mode: the leaking load at point 3,
+	// not the fetch head at detection time.
+	if got := rep.Findings[0].PC; got != 3 {
+		t.Fatalf("symbolic finding PC = %d, want 3 (the leaking load)", got)
+	}
 }
 
 func TestStreamDeliversAndStops(t *testing.T) {
