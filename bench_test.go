@@ -7,6 +7,7 @@
 package pitchfork_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -23,6 +24,7 @@ import (
 	"pitchfork/internal/sched"
 	"pitchfork/internal/symx"
 	"pitchfork/internal/testcases"
+	"pitchfork/spectre"
 )
 
 // ---------------------------------------------------------------------
@@ -362,6 +364,80 @@ func BenchmarkCacheRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if hot := fr.Recover(trace); len(hot) != 2 {
 			b.Fatalf("hot = %v", hot)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fence repair: the counterexample-guided synthesis loop end to end —
+// detect, map findings to speculation sources, insert fences,
+// re-verify, minimize.
+// ---------------------------------------------------------------------
+
+func benchRepair(b *testing.B, build func() (*spectre.Program, error)) {
+	b.ReportAllocs()
+	an, err := spectre.New(spectre.WithDedup(1 << 20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		p, err := build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := an.Repair(context.Background(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Outcome != spectre.RepairRepaired {
+			b.Fatalf("outcome = %s", res.Outcome)
+		}
+	}
+}
+
+func BenchmarkRepairKocher01(b *testing.B) {
+	benchRepair(b, func() (*spectre.Program, error) {
+		return spectre.CompileCTL(testcases.Kocher()[0].Source(), spectre.ModeC)
+	})
+}
+
+func BenchmarkRepairFig7SpectreV4(b *testing.B) {
+	benchRepair(b, func() (*spectre.Program, error) {
+		f, ok := spectre.FigureByID("fig7")
+		if !ok {
+			b.Fatal("fig7 missing from the gallery")
+		}
+		return f.Program(), nil
+	})
+}
+
+func BenchmarkRepairAllKocherSuite(b *testing.B) {
+	b.ReportAllocs()
+	an, err := spectre.New(spectre.WithWorkers(runtime.NumCPU()), spectre.WithDedup(1<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := testcases.Kocher()
+	for i := 0; i < b.N; i++ {
+		items := make([]spectre.BatchItem, len(cases))
+		for j, c := range cases {
+			p, err := spectre.CompileCTL(c.Source(), spectre.ModeC)
+			if err != nil {
+				b.Fatal(err)
+			}
+			items[j] = spectre.BatchItem{Name: c.Name, Program: p}
+		}
+		secured := 0
+		for _, r := range an.RepairAll(context.Background(), items) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			if r.Result.SecretFree() {
+				secured++
+			}
+		}
+		if secured == 0 {
+			b.Fatal("no case secured")
 		}
 	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] [-workers N] [-dedup N] file.ctl
+//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] [-workers N] [-dedup N] [-repair] file.ctl
 //
 // Without -bound/-fwd the two-phase procedure runs: bound 250 without
 // forwarding-hazard detection, then bound 20 with it. With -json the
@@ -11,6 +11,13 @@
 // human-readable summary. -workers parallelizes the exploration over a
 // work-stealing pool (0 means all CPU cores); -dedup bounds an optional
 // state-deduplication table that prunes re-converged schedules.
+//
+// -repair switches from detection to mitigation: the tool synthesizes
+// a minimal fence set (insert at the guarding speculation source,
+// re-verify, iterate, minimize), then emits the repaired program and
+// a cost table. Repair verifies at the hazard-aware bound 20 unless
+// -bound/-fwd override it; the exit status is 0 only when the program
+// is secret-free as given or after repair.
 package main
 
 import (
@@ -33,6 +40,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the machine-readable JSON report")
 	workers := flag.Int("workers", 1, "exploration worker goroutines (0 = all CPU cores)")
 	dedup := flag.Int("dedup", 0, "bound of the state-dedup table (0 = off)")
+	doRepair := flag.Bool("repair", false, "synthesize a minimal fence repair and emit the repaired program with its cost table")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pitchfork [flags] file.ctl")
@@ -58,6 +66,38 @@ func main() {
 	// reports the findings accumulated so far.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *doRepair {
+		opts := []spectre.Option{spectre.WithWorkers(*workers), spectre.WithDedup(*dedup)}
+		if *bound > 0 {
+			opts = append(opts, spectre.WithBound(*bound), spectre.WithForwardHazards(*fwd))
+		}
+		an, err := spectre.New(opts...)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := an.Repair(ctx, prog)
+		if err != nil {
+			if res == nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, "pitchfork: repair aborted:", err)
+		}
+		if *jsonOut {
+			emit(res)
+			exitClean(err == nil && res.SecretFree())
+		}
+		fmt.Println("repair:", res.Summary())
+		if res.Outcome == spectre.RepairRepaired {
+			fmt.Println(res.Cost.Table())
+			fmt.Printf("  %-18s %s\n", "fence points", joinAddrs(res.FencePoints))
+			fmt.Println("\nrepaired program:")
+			fmt.Print(res.Program.Disassemble())
+		} else if !res.SecretFree() && res.Before != nil && !res.Before.SecretFree {
+			reportFindings(res.Before)
+		}
+		exitClean(err == nil && res.SecretFree())
+	}
 
 	if *bound > 0 {
 		an, err := spectre.New(
@@ -153,6 +193,14 @@ func reportFindings(rep *spectre.Report) {
 		}
 		fmt.Printf("  trace: %s\n", f.Trace)
 	}
+}
+
+func joinAddrs(as []spectre.Addr) string {
+	parts := make([]string, len(as))
+	for i, a := range as {
+		parts[i] = fmt.Sprintf("%d", a)
+	}
+	return strings.Join(parts, ", ")
 }
 
 func fatal(err error) {

@@ -6,8 +6,9 @@
 //
 // The supported API surface is the spectre package (pitchfork/spectre):
 // a ProgramBuilder, an Analyzer with functional options and streaming,
-// context-aware analysis, and a stable JSON report schema. See
-// README.md for the tour and quickstart. The implementation lives
-// under internal/; the root package holds only the repository-level
-// benchmark harness (bench_test.go).
+// context-aware analysis, a stable JSON report schema, and automatic
+// fence repair (Repair/RepairAll). See README.md for the tour and
+// quickstart. The implementation lives under internal/; the root
+// package holds only the repository-level benchmark harness
+// (bench_test.go).
 package pitchfork

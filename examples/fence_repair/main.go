@@ -1,6 +1,12 @@
 // Fence repair: the countermeasure workflow the paper's conclusion
-// sketches — detect an SCT violation, apply the fence mitigation of
-// §3.6 at the flagged branch, and re-verify, measuring the cost.
+// sketches, fully automated — detect SCT violations, map each one to
+// its guarding speculation source, insert §3.6 fences there, re-verify,
+// and minimize, with the cost of the repair measured along the way.
+//
+// The victim is the Figure 1 bounds-check-bypass gadget in CTL; the
+// engine synthesizes the same patch Figure 8 writes by hand (one fence
+// at the head of the speculated arm) and proves it sufficient and
+// minimal.
 package main
 
 import (
@@ -24,46 +30,45 @@ fn main() {
 }
 `
 
-const repaired = `
-public a1[4] = {1, 2, 3, 4};
-secret key[4] = {160, 161, 162, 163};
-public a2[64];
-public x = 5;
-public temp;
-fn main() {
-  if (x < 4) {
-    fence;
-    temp = a2[a1[x] * 2];
-  }
-}
-`
-
-func audit(name, src string) (clean bool, instrs int) {
-	prog, err := spectre.CompileCTL(src, spectre.ModeC)
+func main() {
+	prog, err := spectre.CompileCTL(vulnerable, spectre.ModeC)
 	if err != nil {
 		log.Fatal(err)
 	}
 	an, err := spectre.New(
 		spectre.WithBound(20),
 		spectre.WithForwardHazards(true),
-		spectre.WithStopAtFirst(true),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := an.Run(context.Background(), prog)
+
+	res, err := an.Repair(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-12s %-60s (%d instructions)\n", name, rep.Summary(), prog.Len())
-	return rep.SecretFree, prog.Len()
-}
-
-func main() {
-	cleanBefore, nBefore := audit("vulnerable:", vulnerable)
-	cleanAfter, nAfter := audit("repaired:", repaired)
-	if cleanBefore || !cleanAfter {
-		log.Fatal("unexpected audit outcome")
+	fmt.Printf("%-12s %s\n", "vulnerable:", res.Before.Summary())
+	for _, f := range res.Before.Findings {
+		fmt.Printf("  finding: %s  (speculation sources: %v)\n", f, f.Sources)
 	}
-	fmt.Printf("\nfence mitigation verified; code-size cost: +%d instruction(s)\n", nAfter-nBefore)
+	fmt.Printf("%-12s %s\n\n", "repaired:", res.After.Summary())
+
+	if res.Outcome != spectre.RepairRepaired {
+		log.Fatalf("unexpected repair outcome %q", res.Outcome)
+	}
+	fmt.Println("cost:")
+	fmt.Println(res.Cost.Table())
+	fmt.Printf("\nrepaired program (fences at %v):\n%s", res.FencePoints, res.Program.Disassemble())
+
+	// The minimized fence set is certified 1-minimal by construction:
+	// greedy deletion re-verified each survivor. Cross-check the whole
+	// patch by re-analyzing the repaired program from scratch.
+	rep, err := an.Run(context.Background(), res.Program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !rep.SecretFree {
+		log.Fatal("re-analysis of the repaired program found a leak")
+	}
+	fmt.Printf("\nre-verified: %s\n", rep.Summary())
 }

@@ -290,3 +290,97 @@ func TestEmptyProgramValidates(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestInsertAtShiftsAndRemaps(t *testing.T) {
+	// 1: br(gt, [4, ra], 2, 5); 2: load; 3: store; 4: call 1 ret 5;
+	// insert a fence at 2 (before the load).
+	p := NewProgram(1)
+	p.Add(1, Br(OpGt, []Operand{ImmW(4), R(0)}, 2, 5))
+	p.Add(2, Load(1, []Operand{ImmW(0x40), R(0)}, 3))
+	p.Add(3, Store(R(1), []Operand{ImmW(0x41)}, 4))
+	p.Add(4, Call(1, 5))
+	p.SetData(0x40, mem.Pub(7))
+	p.Define("body", 2)
+	p.Define("st", 3)
+	p.Define("buf", 0x40)
+	p.InsertAt(2, Fence(3))
+
+	if in, ok := p.At(2); !ok || in.Kind != KFence || in.Next != 3 {
+		t.Fatalf("point 2 should hold the inserted fence, got %v", in)
+	}
+	br, _ := p.At(1)
+	if br.True != 2 || br.False != 6 {
+		t.Fatalf("branch targets = (%d, %d), want (2, 6): a target equal to the site flows through the fence", br.True, br.False)
+	}
+	ld, ok := p.At(3)
+	if !ok || ld.Kind != KLoad || ld.Next != 4 {
+		t.Fatalf("load should have moved to 3 with Next 4, got %v (ok=%v)", ld, ok)
+	}
+	st, _ := p.At(4)
+	if st.Kind != KStore || st.Next != 5 {
+		t.Fatalf("store should have moved to 4 with Next 5, got %v", st)
+	}
+	call, _ := p.At(5)
+	if call.Kind != KCall || call.Callee != 1 || call.RetPt != 6 {
+		t.Fatalf("call should have moved to 5 with callee 1, retpt 6, got %v", call)
+	}
+	if a, _ := p.Lookup("body"); a != 2 {
+		t.Fatalf("a symbol at the site should flow through the fence like a target, got %d", a)
+	}
+	if a, _ := p.Lookup("st"); a != 4 {
+		t.Fatalf("a code symbol above the site should follow its instruction, got %d", a)
+	}
+	if a, _ := p.Lookup("buf"); a != 0x40 {
+		t.Fatalf("data symbol must not move, got %#x", a)
+	}
+	if v, ok := p.Data[0x40]; !ok || v != mem.Pub(7) {
+		t.Fatal("data image must be untouched")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("rewritten program invalid: %v", err)
+	}
+}
+
+func TestInsertAtEntry(t *testing.T) {
+	p := NewProgram(1)
+	p.Add(1, Ret())
+	p.InsertAt(1, Fence(2))
+	if p.Entry != 1 {
+		t.Fatalf("entry should stay at the inserted instruction, got %d", p.Entry)
+	}
+	if in, _ := p.At(1); in.Kind != KFence {
+		t.Fatal("entry does not hold the fence")
+	}
+	if in, _ := p.At(2); in.Kind != KRet {
+		t.Fatal("old entry instruction did not shift")
+	}
+}
+
+func TestInsertAtEntryBelowShifts(t *testing.T) {
+	p := NewProgram(5)
+	p.Add(5, Ret())
+	p.InsertAt(3, Fence(4))
+	if p.Entry != 6 {
+		t.Fatalf("entry above the site must shift, got %d", p.Entry)
+	}
+	if in, ok := p.At(6); !ok || in.Kind != KRet {
+		t.Fatal("instruction did not shift past the site")
+	}
+}
+
+func TestInsertAtHaltPointStaysHalting(t *testing.T) {
+	// Instructions at 1..2, halt at 3, more code at 9. Inserting at the
+	// halt point must keep control reaching it halting (after the
+	// transparent fence) and must not capture the distant code.
+	p := NewProgram(1)
+	p.Add(1, Op(0, OpMov, []Operand{ImmW(0)}, 2))
+	p.Add(2, Op(0, OpMov, []Operand{ImmW(0)}, 3))
+	p.Add(9, Ret())
+	p.InsertAt(3, Fence(4))
+	if _, ok := p.At(4); ok {
+		t.Fatal("halt point after the fence should stay empty")
+	}
+	if _, ok := p.At(10); !ok {
+		t.Fatal("distant instruction should shift from 9 to 10")
+	}
+}

@@ -82,6 +82,10 @@ type Violation struct {
 	Trace    core.Trace
 	Model    map[string]uint64 // symbolic mode: a witness assignment
 	PC       uint64
+	// Sources are the speculation primitives (branches, unresolved
+	// store addresses, in-flight returns) still pending when the leak
+	// was detected — the fence-repair synthesis anchors.
+	Sources []sched.Source
 }
 
 // String renders the violation.
@@ -130,6 +134,7 @@ func violationOf(v sched.Violation) Violation {
 		Schedule: v.Schedule,
 		Trace:    v.Trace,
 		PC:       uint64(v.PC),
+		Sources:  v.Sources,
 	}
 }
 

@@ -93,14 +93,14 @@ func (t *symTransient) assigns(r isa.Reg) bool {
 
 // symState is one node of the symbolic exploration tree.
 type symState struct {
-	regs    map[isa.Reg]symx.Expr
-	mem     *symx.Memory
-	pc      isa.Addr
-	buf     []*symTransient
-	base    int
-	rsb     *core.RSB
-	pcond   symx.PathCondition
-	trace   core.Trace
+	regs  map[isa.Reg]symx.Expr
+	mem   *symx.Memory
+	pc    isa.Addr
+	buf   []*symTransient
+	base  int
+	rsb   *core.RSB
+	pcond symx.PathCondition
+	trace core.Trace
 	// tracePP records, per trace entry, the program point of the
 	// instruction that produced the observation (mirrors the concrete
 	// explorer's attribution).
@@ -305,10 +305,11 @@ func AnalyzeSymbolic(m *SymMachine, opts Options) (Report, error) {
 
 func (a *symbolicAnalyzer) flag(st *symState, at int) {
 	v := Violation{
-		Obs:   st.trace[at],
-		Trace: append(core.Trace(nil), st.trace[:at+1]...),
-		Kind:  a.classify(st),
-		PC:    uint64(st.tracePP[at]),
+		Obs:     st.trace[at],
+		Trace:   append(core.Trace(nil), st.trace[:at+1]...),
+		Kind:    a.classify(st),
+		PC:      uint64(st.tracePP[at]),
+		Sources: st.specSources(),
 	}
 	if env, ok := a.solver.Solve(st.pcond); ok {
 		v.Model = make(map[string]uint64, len(env))
@@ -320,6 +321,32 @@ func (a *symbolicAnalyzer) flag(st *symState, at int) {
 	if a.opts.OnViolation != nil && !a.opts.OnViolation(v) {
 		a.stopped = true
 	}
+}
+
+// specSources mirrors the concrete explorer's speculation-source
+// collection over the symbolic reorder buffer.
+func (st *symState) specSources() []sched.Source {
+	var out []sched.Source
+	seen := make(map[sched.Source]bool)
+	add := func(s sched.Source) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, t := range st.buf {
+		switch t.kind {
+		case core.TBr:
+			add(sched.Source{Kind: sched.SrcBranch, PC: t.pp})
+		case core.TStore:
+			if !t.addrKnown {
+				add(sched.Source{Kind: sched.SrcStore, PC: t.pp})
+			}
+		case core.TRet:
+			add(sched.Source{Kind: sched.SrcRet, PC: t.pp})
+		}
+	}
+	return out
 }
 
 func (a *symbolicAnalyzer) classify(st *symState) sched.VariantKind {

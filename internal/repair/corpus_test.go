@@ -1,0 +1,83 @@
+package repair
+
+import (
+	"testing"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/isa"
+	"pitchfork/internal/pitchfork"
+	"pitchfork/internal/testcases"
+)
+
+// corpusOptions verifies CTL-compiled cases (no register seeds — all
+// inputs live in the data image) at the hazard-aware bound.
+// Fingerprint dedup keeps the loop cases tractable: many
+// forwarding-fork arms reconverge, and pruning them preserves the
+// violation set, so a deduped clean run is still a certificate.
+func corpusOptions() Options {
+	return Options{
+		Verify: func(p *isa.Program) (pitchfork.Report, error) {
+			return pitchfork.Analyze(core.New(p), pitchfork.Options{
+				Bound: 20, ForwardHazards: true, DedupEntries: 1 << 20,
+			})
+		},
+		Machine: func(p *isa.Program) *core.Machine { return core.New(p) },
+	}
+}
+
+// repairCorpus repairs every case of a suite and checks the contract:
+// flagged speculative cases come back re-verified secret-free with a
+// 1-minimal fence set; sequential leakers are reported unrepairable.
+// At least one case per suite must actually exercise the repair path,
+// so a suite going quiet (nothing flagged, nothing repaired) fails.
+func repairCorpus(t *testing.T, cases []testcases.Case) {
+	t.Helper()
+	repaired := 0
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			m, err := c.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := corpusOptions()
+			res, err := Repair(m.Prog, opts)
+			if err != nil {
+				t.Fatalf("Repair: %v", err)
+			}
+			switch {
+			case c.SequentialLeak:
+				if res.Outcome != OutcomeSequentialLeak {
+					t.Fatalf("outcome = %s, want sequential-leak (case leaks architecturally)", res.Outcome)
+				}
+				return
+			case res.Outcome == OutcomeClean:
+				// Not flagged at this bound/config; nothing to repair.
+				return
+			}
+			if res.Outcome != OutcomeRepaired {
+				t.Fatalf("outcome = %s, want repaired (before: %s)", res.Outcome, res.Before.Summary())
+			}
+			repaired++
+			if !res.After.SecretFree() {
+				t.Fatalf("repaired program still flagged: %s", res.After.Summary())
+			}
+			if len(res.Sites) == 0 {
+				t.Fatal("repaired with an empty fence set")
+			}
+			for _, f := range res.Fences {
+				if in, ok := res.Prog.At(f); !ok || in.Kind != isa.KFence {
+					t.Fatalf("reported fence point %d does not hold a fence", f)
+				}
+			}
+			assert1Minimal(t, m.Prog, res, opts)
+		})
+	}
+	if repaired*2 < len(cases) {
+		t.Errorf("only %d/%d cases repaired; the repair path has gone quiet", repaired, len(cases))
+	}
+}
+
+func TestRepairKocherSuite(t *testing.T)     { repairCorpus(t, testcases.Kocher()) }
+func TestRepairSpecOnlyV1Suite(t *testing.T) { repairCorpus(t, testcases.SpecOnlyV1()) }
+func TestRepairV11Suite(t *testing.T)        { repairCorpus(t, testcases.V11()) }

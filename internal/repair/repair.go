@@ -1,0 +1,488 @@
+// Package repair implements counterexample-guided fence-repair
+// synthesis: the mitigation workflow the paper's conclusion sketches.
+// Given a program the detector flags, the engine maps each violation
+// back to its guarding speculation source (an unresolved conditional
+// branch, a store with a pending address, or an in-flight return),
+// inserts §3.6 fence instructions at the source via isa.Program's
+// InsertAt rewriting, re-verifies, and iterates until the program is
+// speculative-constant-time at the analyzed bound. The resulting fence
+// set is then minimized by greedy deletion under re-verification, and
+// the repair is certified behaviour-preserving by replaying the
+// canonical sequential schedule of both programs and comparing their
+// observation traces modulo the address shift.
+//
+// Placement rules, per source kind:
+//
+//   - branch: a fence at the head of each arm (the Figure 8 patch) —
+//     speculatively fetched leak instructions cannot execute until the
+//     fence retires, which requires the branch to have resolved;
+//   - store:  a fence immediately after the store — later loads cannot
+//     execute until the store's address resolves and the store
+//     retires, closing the Spectre v4 stale-load window;
+//   - return: a fence immediately before the ret — the expansion's
+//     predicted indirect jump cannot execute until every older store
+//     (in particular one overwriting the return slot) has retired;
+//   - fallback: a fence immediately before the leaking instruction,
+//     used when no source rule yields a new site (e.g. a leak whose
+//     guard retired before detection).
+//
+// Sequential constant-time violations are detected up front and
+// reported as unrepairable: a fence constrains scheduling only, so no
+// fence set can fix a program that leaks architecturally.
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/isa"
+	"pitchfork/internal/pitchfork"
+	"pitchfork/internal/sched"
+)
+
+// Options configure a repair run.
+type Options struct {
+	// Verify analyzes a candidate program and returns the detector
+	// report. Required. The engine treats a report as a proof of
+	// secret-freedom only when it is neither truncated nor interrupted.
+	Verify func(*isa.Program) (pitchfork.Report, error)
+	// Machine builds a concrete machine in a candidate program's
+	// initial configuration. Optional; when set it enables the
+	// sequential-leak precheck and the behaviour-preservation
+	// certificate.
+	Machine func(*isa.Program) *core.Machine
+	// MaxIters bounds the counterexample-guided iterations (0 =
+	// DefaultMaxIters).
+	MaxIters int
+	// NoMinimize skips the greedy fence-set minimization pass.
+	NoMinimize bool
+	// MaxSeqInstrs bounds the sequential replays of the precheck and
+	// the behaviour certificate (0 = sched.DefaultMaxRetired).
+	MaxSeqInstrs int
+}
+
+// DefaultMaxIters is the iteration budget when Options leaves it zero.
+// Each iteration adds at least one fence site, so the budget also
+// bounds the fence count before minimization.
+const DefaultMaxIters = 32
+
+// Outcome classifies a repair run.
+type Outcome uint8
+
+const (
+	// OutcomeFailed: the engine could not reach a verdict — a
+	// verification error, an inconclusive (truncated/interrupted)
+	// clean report, or a failed behaviour certificate. It is the zero
+	// value on purpose: a Result returned alongside an error never
+	// accidentally reads as certified.
+	OutcomeFailed Outcome = iota
+	// OutcomeClean: the program verified secret-free as given; no
+	// fences were needed.
+	OutcomeClean
+	// OutcomeRepaired: fences were inserted and the program re-verified
+	// secret-free.
+	OutcomeRepaired
+	// OutcomeSequentialLeak: the program leaks with no speculation in
+	// flight; fences cannot repair it.
+	OutcomeSequentialLeak
+	// OutcomeExhausted: the iteration budget ran out, or no placement
+	// rule produced a new fence site, before verification came back
+	// clean.
+	OutcomeExhausted
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeFailed:
+		return "failed"
+	case OutcomeClean:
+		return "clean"
+	case OutcomeRepaired:
+		return "repaired"
+	case OutcomeSequentialLeak:
+		return "sequential-leak"
+	case OutcomeExhausted:
+		return "exhausted"
+	}
+	return "unknown"
+}
+
+// Secured reports whether the outcome certifies a secret-free program
+// (either as given or after repair).
+func (o Outcome) Secured() bool { return o == OutcomeClean || o == OutcomeRepaired }
+
+// Result is the outcome of a repair run.
+type Result struct {
+	// Prog is the repaired program — the input program itself when no
+	// fences were needed or none could help.
+	Prog *isa.Program
+	// Outcome classifies the run.
+	Outcome Outcome
+	// Sites are the fence insertion sites in the ORIGINAL program's
+	// address space, sorted: a fence precedes the original occupant of
+	// each site.
+	Sites []isa.Addr
+	// Fences are the fence program points in the REPAIRED program's
+	// address space, sorted.
+	Fences []isa.Addr
+	// Before is the detector report of the unrepaired program; After
+	// the report of the final program (equal to Before when no rewrite
+	// happened).
+	Before, After pitchfork.Report
+	// Iterations counts verification-guided insertion rounds (0 when
+	// the program was already clean).
+	Iterations int
+	// PreMinimizeFences is the fence count before minimization (equal
+	// to len(Sites) when minimization is disabled or removed nothing).
+	PreMinimizeFences int
+}
+
+// MapAddr translates an original program point to its location in the
+// repaired program (the instruction-location map: each site at or
+// below the point shifts it by one).
+func (r *Result) MapAddr(a isa.Addr) isa.Addr {
+	out := a
+	for _, s := range r.Sites {
+		if s <= a {
+			out++
+		}
+	}
+	return out
+}
+
+// MapTarget translates an original control-flow target: targets equal
+// to a fence site keep pointing at the site — they flow through the
+// fence — so only strictly smaller sites shift them.
+func (r *Result) MapTarget(a isa.Addr) isa.Addr {
+	out := a
+	for _, s := range r.Sites {
+		if s < a {
+			out++
+		}
+	}
+	return out
+}
+
+// Repair runs the counterexample-guided synthesis loop on prog. The
+// input program is never mutated. A non-nil error means the engine
+// could not reach a verdict (verification failed, was interrupted, or
+// exhausted its state budget while looking clean); the partial Result
+// accompanies it.
+func Repair(prog *isa.Program, opts Options) (*Result, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("repair: nil program")
+	}
+	if opts.Verify == nil {
+		return nil, fmt.Errorf("repair: Options.Verify is required")
+	}
+	if opts.MaxIters <= 0 {
+		opts.MaxIters = DefaultMaxIters
+	}
+	if opts.MaxSeqInstrs <= 0 {
+		opts.MaxSeqInstrs = sched.DefaultMaxRetired
+	}
+
+	before, err := opts.Verify(prog)
+	if err != nil {
+		return nil, fmt.Errorf("repair: baseline verification: %w", err)
+	}
+	res := &Result{Prog: prog, Before: before, After: before}
+	if clean, err := certifiedClean(before); clean {
+		res.Outcome = OutcomeClean
+		return res, nil
+	} else if err != nil {
+		return res, fmt.Errorf("repair: baseline verification inconclusive: %w", err)
+	}
+
+	// A fence constrains the schedule; it cannot mask a leak the
+	// canonical sequential execution already produces. The replay and
+	// its halt status double as the baseline of the final behaviour
+	// certificate, so the original is only re-executed once.
+	var base *seqBaseline
+	if opts.Machine != nil {
+		mo := opts.Machine(prog)
+		if _, trace, err := core.RunSequential(mo, opts.MaxSeqInstrs); err == nil {
+			base = &seqBaseline{trace: trace, halted: mo.Halted()}
+			if trace.FirstSecret() >= 0 {
+				res.Outcome = OutcomeSequentialLeak
+				return res, nil
+			}
+		}
+	}
+
+	siteSet := make(map[isa.Addr]bool)
+	cur := before
+	inv := identityMap(prog) // repaired-space point → original-space point
+	secured := false
+	for iter := 1; iter <= opts.MaxIters; iter++ {
+		progress := false
+		pending := make(map[isa.Addr]bool) // sites first proposed this round
+		for _, v := range cur.Violations {
+			saturated := true // every source fence tried in an earlier round
+			for _, s := range candidateSites(prog, v, inv) {
+				if !siteSet[s] {
+					siteSet[s] = true
+					pending[s] = true
+					progress, saturated = true, false
+				} else if pending[s] {
+					saturated = false // proposed this round, not yet verified
+				}
+			}
+			if saturated {
+				// Source placement was already tried and the leak
+				// persists: escalate to a fence directly before the
+				// leaking instruction.
+				if opc, ok := inv[v.PC]; ok && !siteSet[opc] {
+					siteSet[opc] = true
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			res.Outcome = OutcomeExhausted
+			res.Prog = prog // per the Result contract: no effective repair, no rewrite
+			return res, nil
+		}
+		res.Iterations = iter
+		res.Sites = sortedSites(siteSet)
+		var rp *isa.Program
+		rp, inv = applySites(prog, res.Sites)
+		rep, err := opts.Verify(rp)
+		if err != nil {
+			return res, fmt.Errorf("repair: verification (iteration %d): %w", iter, err)
+		}
+		res.Prog, res.After, cur = rp, rep, rep
+		if clean, err := certifiedClean(rep); clean {
+			secured = true
+			break
+		} else if err != nil {
+			return res, fmt.Errorf("repair: verification inconclusive (iteration %d): %w", iter, err)
+		}
+	}
+	if !secured {
+		res.Outcome = OutcomeExhausted
+		res.Prog = prog // the tried fences were ineffective; return the input
+		return res, nil
+	}
+	res.Outcome = OutcomeRepaired
+	res.PreMinimizeFences = len(res.Sites)
+
+	if !opts.NoMinimize && len(res.Sites) > 1 {
+		if err := minimize(prog, res, opts); err != nil {
+			res.Outcome = OutcomeFailed
+			return res, err
+		}
+	}
+	res.Fences = fencePoints(res)
+
+	if base != nil {
+		if err := behaviourPreserved(base, res, opts); err != nil {
+			res.Outcome = OutcomeFailed
+			return res, fmt.Errorf("repair: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// seqBaseline is the original program's bounded sequential replay:
+// the precheck input and the behaviour-certificate reference.
+type seqBaseline struct {
+	trace  core.Trace
+	halted bool
+}
+
+// certifiedClean reports whether rep proves secret-freedom. A clean
+// report that was truncated or interrupted proves nothing; that case
+// returns an error so callers fail loudly instead of shipping an
+// uncertified patch. A flagged report is always usable — its
+// counterexamples are sound regardless of truncation.
+func certifiedClean(rep pitchfork.Report) (bool, error) {
+	if !rep.SecretFree() {
+		return false, nil
+	}
+	if rep.Interrupted {
+		return false, fmt.Errorf("analysis interrupted")
+	}
+	if rep.Truncated {
+		return false, fmt.Errorf("state budget exhausted before full coverage; raise MaxStates")
+	}
+	return true, nil
+}
+
+// candidateSites derives original-space fence sites for one
+// violation's speculation sources. Source program points arrive in
+// repaired space and are translated through inv; a source whose point
+// has no original counterpart (it should not happen — fences are never
+// sources) is skipped.
+func candidateSites(orig *isa.Program, v pitchfork.Violation, inv map[isa.Addr]isa.Addr) []isa.Addr {
+	var sites []isa.Addr
+	for _, s := range v.Sources {
+		opc, ok := inv[s.PC]
+		if !ok {
+			continue
+		}
+		in, ok := orig.At(opc)
+		if !ok {
+			continue
+		}
+		switch s.Kind {
+		case sched.SrcBranch:
+			if in.Kind == isa.KBr {
+				sites = append(sites, in.True, in.False)
+			}
+		case sched.SrcStore:
+			switch in.Kind {
+			case isa.KStore:
+				sites = append(sites, in.Next)
+			case isa.KCall:
+				// The return-address push of a call expansion: fencing
+				// the callee entry holds the body until it retires.
+				sites = append(sites, in.Callee)
+			}
+		case sched.SrcRet:
+			if in.Kind == isa.KRet {
+				sites = append(sites, opc)
+			}
+		}
+	}
+	return sites
+}
+
+// applySites inserts a fence before the original occupant of every
+// site, ascending, and returns the rewritten program plus the inverse
+// instruction-location map (repaired point → original point).
+func applySites(orig *isa.Program, sites []isa.Addr) (*isa.Program, map[isa.Addr]isa.Addr) {
+	p := orig.Clone()
+	for i, s := range sites {
+		at := s + isa.Addr(i) // earlier (smaller) sites shifted this one up
+		p.InsertAt(at, isa.Fence(at+1))
+	}
+	inv := make(map[isa.Addr]isa.Addr, len(orig.Instrs))
+	for a := range orig.Instrs {
+		shifted := a
+		for _, s := range sites {
+			if s <= a {
+				shifted++
+			}
+		}
+		inv[shifted] = a
+	}
+	return p, inv
+}
+
+func identityMap(p *isa.Program) map[isa.Addr]isa.Addr {
+	inv := make(map[isa.Addr]isa.Addr, len(p.Instrs))
+	for a := range p.Instrs {
+		inv[a] = a
+	}
+	return inv
+}
+
+func sortedSites(set map[isa.Addr]bool) []isa.Addr {
+	out := make([]isa.Addr, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// minimize greedily deletes redundant fences: for each site in
+// ascending order, re-verify without it and drop it if the program
+// stays certified clean. Fences only restrict the attacker's
+// schedules, so leakage is monotone in fence removal — the surviving
+// set is 1-minimal: removing any single remaining fence reintroduces
+// a violation.
+func minimize(orig *isa.Program, res *Result, opts Options) error {
+	sites := append([]isa.Addr(nil), res.Sites...)
+	for _, s := range res.Sites {
+		trial := without(sites, s)
+		rp, _ := applySites(orig, trial)
+		rep, err := opts.Verify(rp)
+		if err != nil {
+			return fmt.Errorf("repair: minimization verification: %w", err)
+		}
+		clean, certErr := certifiedClean(rep)
+		if certErr != nil {
+			return fmt.Errorf("repair: minimization inconclusive: %w", certErr)
+		}
+		if clean {
+			sites = trial
+			res.Prog, res.After = rp, rep
+		}
+	}
+	res.Sites = sites
+	return nil
+}
+
+func without(sites []isa.Addr, drop isa.Addr) []isa.Addr {
+	out := make([]isa.Addr, 0, len(sites))
+	for _, s := range sites {
+		if s != drop {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// fencePoints lists the repaired-space program points of the inserted
+// fences: site i lands at Sites[i] + i after the ascending insertion.
+func fencePoints(res *Result) []isa.Addr {
+	out := make([]isa.Addr, len(res.Sites))
+	for i, s := range res.Sites {
+		out[i] = s + isa.Addr(i)
+	}
+	return out
+}
+
+// behaviourPreserved replays the canonical sequential schedule of the
+// original and the repaired program and compares their observation
+// traces: same events in the same order with the same labels, with
+// jump targets compared through the address shift (fences themselves
+// emit no observations). This catches the one unsoundness InsertAt
+// documents — computed control flow that the static remap could not
+// follow.
+func behaviourPreserved(base *seqBaseline, res *Result, opts Options) error {
+	if opts.MaxSeqInstrs <= 0 {
+		opts.MaxSeqInstrs = sched.DefaultMaxRetired
+	}
+	to := base.trace
+	// Fences retire too, so the repaired replay needs a wider budget —
+	// and a fence inside a loop retires once per iteration, so no
+	// static widening covers every program. Instead, both runs are
+	// budget-bounded and compared on their common observation prefix;
+	// lengths must agree exactly only when both replays actually
+	// halted (a fence emits no observations, so a preserved program
+	// yields the identical trace).
+	mr := opts.Machine(res.Prog)
+	_, tr, errR := core.RunSequential(mr, 2*opts.MaxSeqInstrs)
+	if errR != nil {
+		return fmt.Errorf("behaviour check: repaired program faults sequentially: %v", errR)
+	}
+	if base.halted && mr.Halted() && len(to) != len(tr) {
+		return fmt.Errorf("behaviour check: sequential trace length changed: %d → %d", len(to), len(tr))
+	}
+	if mr.Halted() && !base.halted && len(tr) < len(to) {
+		return fmt.Errorf("behaviour check: repaired program halts early: %d observations, original produced %d", len(tr), len(to))
+	}
+	n := len(to)
+	if len(tr) < n {
+		n = len(tr)
+	}
+	for i := 0; i < n; i++ {
+		a, b := to[i], tr[i]
+		if a.Kind != b.Kind || a.Secret() != b.Secret() {
+			return fmt.Errorf("behaviour check: sequential observation %d changed: %s → %s", i, a, b)
+		}
+		if a.Kind == core.OJump {
+			if want := res.MapTarget(a.Target); b.Target != want {
+				return fmt.Errorf("behaviour check: jump target %d remapped to %d, executed %d", a.Target, want, b.Target)
+			}
+		} else if a.Addr != b.Addr {
+			return fmt.Errorf("behaviour check: data address changed at observation %d: %#x → %#x", i, a.Addr, b.Addr)
+		}
+	}
+	return nil
+}

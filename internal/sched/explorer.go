@@ -106,6 +106,77 @@ type Violation struct {
 	Trace    core.Trace    // observation trace up to and including Obs
 	Kind     VariantKind   // heuristic Spectre-variant classification
 	PC       isa.Addr      // program point of the instruction that produced Obs
+	// Sources are the speculation primitives still unresolved when the
+	// leak was detected — the guards the leaking instruction raced
+	// ahead of. Fence-repair synthesis uses them to place fences at
+	// the speculation source rather than at the leak.
+	Sources []Source
+}
+
+// SourceKind discriminates the speculation primitives a leak can hide
+// behind.
+type SourceKind uint8
+
+const (
+	// SrcBranch is an unresolved conditional branch (Spectre v1/v1.1).
+	SrcBranch SourceKind = iota
+	// SrcStore is a store whose address is still unresolved — the
+	// stale-load window of Spectre v4 and the forwarding hazards.
+	SrcStore
+	// SrcRet is an in-flight return: its target is an RSB (or
+	// attacker) prediction until the return-address load commits.
+	SrcRet
+)
+
+// String names the source kind in the wire vocabulary.
+func (k SourceKind) String() string {
+	switch k {
+	case SrcBranch:
+		return "branch"
+	case SrcStore:
+		return "store"
+	case SrcRet:
+		return "return"
+	}
+	return "unknown"
+}
+
+// Source is one speculation source of a violation: the kind of guard
+// and the program point of the guarding instruction. For the store of
+// a call expansion (the return-address push) PC names the call itself.
+type Source struct {
+	Kind SourceKind
+	PC   isa.Addr
+}
+
+// String renders the source, e.g. "branch@4".
+func (s Source) String() string { return fmt.Sprintf("%s@%d", s.Kind, s.PC) }
+
+// specSources collects the unresolved speculation primitives of the
+// machine's reorder buffer, oldest first, deduplicated by (kind, pc).
+func specSources(m *core.Machine) []Source {
+	var out []Source
+	seen := make(map[Source]bool)
+	add := func(s Source) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, i := range m.Buf.Indices() {
+		t, _ := m.Buf.Get(i)
+		switch t.Kind {
+		case core.TBr:
+			add(Source{Kind: SrcBranch, PC: t.PP})
+		case core.TStore:
+			if !t.AddrKnown {
+				add(Source{Kind: SrcStore, PC: t.PP})
+			}
+		case core.TRet:
+			add(Source{Kind: SrcRet, PC: t.PP})
+		}
+	}
+	return out
 }
 
 // String renders the violation compactly.
@@ -300,10 +371,11 @@ func advance(opts *Options, dedup *dedupTable, st *state) (done, deduped bool, v
 	// Leak check on everything observed so far.
 	if i := st.trace.FirstSecret(); i >= 0 {
 		v := Violation{
-			Obs:   st.trace[i],
-			Trace: append(core.Trace(nil), st.trace[:i+1]...),
-			Kind:  classify(m, st.trace, i),
-			PC:    st.tracePP[i],
+			Obs:     st.trace[i],
+			Trace:   append(core.Trace(nil), st.trace[:i+1]...),
+			Kind:    classify(m, st.trace, i),
+			PC:      st.tracePP[i],
+			Sources: specSources(m),
 		}
 		if opts.KeepSchedules {
 			v.Schedule = append(core.Schedule(nil), st.sched...)

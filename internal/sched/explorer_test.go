@@ -364,3 +364,54 @@ func TestExplorerInterruptAborts(t *testing.T) {
 		t.Fatalf("interrupt before the first state must explore nothing, got %d states", res.States)
 	}
 }
+
+func TestViolationSpeculationSources(t *testing.T) {
+	// Figure 1: the leak's guard is the unresolved bounds check at 1.
+	res, err := Explore(v1Gadget(9), 20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SecretFree() {
+		t.Fatal("expected the Figure 1 leak")
+	}
+	for _, v := range res.Violations {
+		found := false
+		for _, s := range v.Sources {
+			if s.Kind == SrcBranch && s.PC == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("violation at pc %d lacks the branch@1 source: %v", v.PC, v.Sources)
+		}
+	}
+
+	// Figure 7: the guard is the store at 1 with its address pending.
+	res, err = Explore(v4Gadget(), 20, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SecretFree() {
+		t.Fatal("expected the Figure 7 leak")
+	}
+	found := false
+	for _, v := range res.Violations {
+		for _, s := range v.Sources {
+			if s.Kind == SrcStore && s.PC == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no violation carries the store@1 source")
+	}
+}
+
+func TestSourceStrings(t *testing.T) {
+	if got := (Source{Kind: SrcBranch, PC: 4}).String(); got != "branch@4" {
+		t.Fatalf("Source.String() = %q", got)
+	}
+	if SrcStore.String() != "store" || SrcRet.String() != "return" {
+		t.Fatal("source kind names drifted from the wire vocabulary")
+	}
+}

@@ -258,6 +258,11 @@ secret skey = 77;
 	}
 }
 
+// Source returns the case's CTL source with the helper functions its
+// body references appended — the self-contained unit to feed a
+// compiler (Build and BuildSym use it internally).
+func (c Case) Source() string { return withHelpers(c.Src) }
+
 func withHelpers(src string) string {
 	out := src
 	if contains(src, "leak(") {

@@ -25,9 +25,16 @@
 //     and safe to share across goroutines.
 //
 //   - A stable, JSON-serializable Finding/Report schema: Spectre
-//     variant kind, violating program counter, the leaking
-//     observation, the attacker's directive schedule, and (in symbolic
-//     mode) a witness assignment.
+//     variant kind, violating program counter, the guarding
+//     speculation sources, the leaking observation, the attacker's
+//     directive schedule, and (in symbolic mode) a witness assignment.
+//
+//   - Automatic mitigation: Repair (and the corpus-shaped RepairAll)
+//     synthesizes a minimal §3.6 fence set by counterexample-guided
+//     iteration — insert at each finding's speculation source,
+//     re-verify, minimize — and reports the patched Program together
+//     with a RepairCost (fences added, instruction growth,
+//     exploration-effort delta).
 //
 // A minimal audit looks like:
 //

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"pitchfork/internal/attacks"
+	"pitchfork/internal/mem"
+	"pitchfork/internal/symx"
 )
 
 // Figure is one of the paper's worked examples: a victim program plus
@@ -46,6 +48,25 @@ func FigureByID(id string) (Figure, bool) {
 		}
 	}
 	return Figure{}, false
+}
+
+// Program returns the figure's victim — instructions, data image, and
+// register seeds — as an analyzable Program, independent of the
+// figure's hand-written attacker schedule. This is how the gallery
+// becomes an analysis and repair corpus: run the Analyzer (or Repair)
+// over it instead of replaying the scripted directives.
+func (f Figure) Program() *Program {
+	m := f.attack.New()
+	regs := make(map[mem.Reg]mem.Value)
+	for _, r := range m.Regs.Registers() {
+		regs[r] = m.Regs.Read(r)
+	}
+	return &Program{
+		prog:    m.Prog.Clone(),
+		regs:    regs,
+		symRegs: make(map[mem.Reg]symx.Expr),
+		symMem:  make(map[mem.Word]symx.Expr),
+	}
 }
 
 // Trace replays the figure's schedule on a fresh machine and returns

@@ -1,0 +1,318 @@
+package spectre
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"pitchfork/internal/core"
+	"pitchfork/internal/isa"
+	"pitchfork/internal/pitchfork"
+	"pitchfork/internal/repair"
+)
+
+// Repair outcome strings of the wire schema.
+const (
+	// RepairClean: the program verified secret-free as given.
+	RepairClean = "clean"
+	// RepairRepaired: fences were synthesized and the program
+	// re-verified secret-free.
+	RepairRepaired = "repaired"
+	// RepairSequentialLeak: the program leaks with no speculation in
+	// flight; no fence set can repair it.
+	RepairSequentialLeak = "sequential-leak"
+	// RepairExhausted: the synthesis budget ran out before
+	// verification came back clean.
+	RepairExhausted = "exhausted"
+	// RepairFailed: the engine could not reach a verdict — the
+	// accompanying error says why (verification error, inconclusive
+	// budget-truncated run, failed behaviour certificate).
+	RepairFailed = "failed"
+)
+
+// RepairCost quantifies what a repair cost: fences added, program
+// growth, and the exploration-effort delta between analyzing the
+// unrepaired and the repaired program.
+type RepairCost struct {
+	// Fences is the size of the final (minimized) fence set;
+	// PreMinimizeFences the size before greedy minimization.
+	Fences            int `json:"fences"`
+	PreMinimizeFences int `json:"preMinimizeFences"`
+	// Iterations counts counterexample-guided insertion rounds.
+	Iterations int `json:"iterations"`
+	// InstrBefore/InstrAfter are the program's instruction counts.
+	InstrBefore int `json:"instrBefore"`
+	InstrAfter  int `json:"instrAfter"`
+	// StatesBefore/StatesAfter are the explored-state counts of the
+	// baseline run and of the final verification run.
+	StatesBefore int `json:"statesBefore"`
+	StatesAfter  int `json:"statesAfter"`
+}
+
+// InstrOverhead is the relative instruction-count growth (0.1 = +10%).
+func (c RepairCost) InstrOverhead() float64 {
+	if c.InstrBefore == 0 {
+		return 0
+	}
+	return float64(c.InstrAfter-c.InstrBefore) / float64(c.InstrBefore)
+}
+
+// StateOverhead is the ratio of explored states after repair to
+// before (fences prune speculation, so this is typically well below
+// 1).
+func (c RepairCost) StateOverhead() float64 {
+	if c.StatesBefore == 0 {
+		return 0
+	}
+	return float64(c.StatesAfter) / float64(c.StatesBefore)
+}
+
+// Table renders the cost as an aligned two-column table.
+func (c RepairCost) Table() string {
+	var b strings.Builder
+	fences := fmt.Sprintf("%d", c.Fences)
+	if c.PreMinimizeFences > c.Fences {
+		fences += fmt.Sprintf(" (minimized from %d)", c.PreMinimizeFences)
+	}
+	fmt.Fprintf(&b, "  %-18s %s\n", "fences added", fences)
+	fmt.Fprintf(&b, "  %-18s %d → %d (%+.1f%%)\n", "instructions", c.InstrBefore, c.InstrAfter, 100*c.InstrOverhead())
+	fmt.Fprintf(&b, "  %-18s %d → %d (×%.2f)\n", "explored states", c.StatesBefore, c.StatesAfter, c.StateOverhead())
+	fmt.Fprintf(&b, "  %-18s %d", "iterations", c.Iterations)
+	return b.String()
+}
+
+// RepairResult is the outcome of an automatic fence repair.
+type RepairResult struct {
+	// Outcome is one of the Repair* constants.
+	Outcome string `json:"outcome"`
+	// Program is the repaired program (the input program when no
+	// rewrite happened). Not part of the wire schema; the CLI emits
+	// its disassembly instead.
+	Program *Program `json:"-"`
+	// Sites are the fence insertion sites in the original program's
+	// address space; FencePoints the fence program points in the
+	// repaired program's address space. Both sorted.
+	Sites       []Addr `json:"sites,omitempty"`
+	FencePoints []Addr `json:"fencePoints,omitempty"`
+	// Cost quantifies the repair.
+	Cost RepairCost `json:"cost"`
+	// Before is the analysis of the unrepaired program; After the
+	// final verification run (equal to Before when nothing changed).
+	Before *Report `json:"before"`
+	After  *Report `json:"after"`
+}
+
+// SecretFree reports whether the outcome certifies a secret-free
+// program — either as given (clean) or after repair.
+func (r *RepairResult) SecretFree() bool {
+	return r.Outcome == RepairClean || r.Outcome == RepairRepaired
+}
+
+// Summary renders a one-line result.
+func (r *RepairResult) Summary() string {
+	switch r.Outcome {
+	case RepairClean:
+		return fmt.Sprintf("clean as given (%d states explored)", r.Cost.StatesBefore)
+	case RepairRepaired:
+		return fmt.Sprintf("repaired: %d fence(s), %d → %d instructions (%+.1f%%), %d → %d explored states",
+			r.Cost.Fences, r.Cost.InstrBefore, r.Cost.InstrAfter, 100*r.Cost.InstrOverhead(),
+			r.Cost.StatesBefore, r.Cost.StatesAfter)
+	case RepairSequentialLeak:
+		return "unrepairable: leaks sequentially (fences only constrain speculation)"
+	case RepairExhausted:
+		return fmt.Sprintf("repair exhausted after %d iteration(s), %d fence(s) tried",
+			r.Cost.Iterations, len(r.Sites))
+	default:
+		return fmt.Sprintf("repair failed after %d iteration(s); see the accompanying error", r.Cost.Iterations)
+	}
+}
+
+// Repair synthesizes a fence repair for the program: it analyzes p
+// with the analyzer's configuration, maps each finding back to its
+// guarding speculation source (branch, forwarded store, or return),
+// inserts fences at the source, re-verifies, and iterates until the
+// program is secret-free at the analyzed bound — then minimizes the
+// fence set by greedy deletion under re-verification. The repair
+// additionally carries a behaviour certificate: the repaired
+// program's (concrete) sequential observation trace must equal the
+// original's modulo the fence address shift — in symbolic mode the
+// replay substitutes each symbolic binding's concrete seed.
+//
+// The analyzer's WithStopAtFirst setting is ignored during repair —
+// every round wants all counterexamples. A program that violates
+// constant-time sequentially is reported RepairSequentialLeak and
+// left unmodified. Cancelling the context aborts the synthesis with
+// an error.
+func (a *Analyzer) Repair(ctx context.Context, p *Program) (*RepairResult, error) {
+	return a.repairWith(ctx, p, a.cfg.workers)
+}
+
+func (a *Analyzer) repairWith(ctx context.Context, p *Program, workers int) (*RepairResult, error) {
+	if p == nil {
+		return nil, fmt.Errorf("spectre: nil program")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The sequential precheck and the behaviour certificate replay the
+	// concrete machine in every mode; under WithSymbolic the symbolic
+	// bindings are simply replaced by their concrete seeds for the
+	// replay (verification itself stays symbolic).
+	ropts := repair.Options{
+		Verify:       a.repairVerifier(ctx, p, workers),
+		MaxSeqInstrs: a.cfg.maxRetired,
+		Machine: func(ip *isa.Program) *core.Machine {
+			return p.withProg(ip).machine()
+		},
+	}
+	res, err := repair.Repair(p.prog, ropts)
+	if res == nil {
+		return nil, fmt.Errorf("spectre: %w", err)
+	}
+	out := repairResultOf(a, p, res)
+	if err != nil {
+		return out, fmt.Errorf("spectre: %w", err)
+	}
+	return out, nil
+}
+
+// repairVerifier adapts the analyzer's configuration into the engine's
+// verification hook, running each candidate at the configured bound
+// with all findings collected.
+func (a *Analyzer) repairVerifier(ctx context.Context, p *Program, workers int) func(*isa.Program) (pitchfork.Report, error) {
+	return func(ip *isa.Program) (pitchfork.Report, error) {
+		q := p.withProg(ip)
+		opts := pitchfork.Options{
+			Bound:          a.cfg.bound,
+			ForwardHazards: a.cfg.forwardHazards,
+			MaxStates:      a.cfg.maxStates,
+			MaxRetired:     a.cfg.maxRetired,
+			Workers:        workers,
+			DedupEntries:   a.cfg.dedupEntries,
+			SolverSeed:     a.cfg.solverSeed,
+			Interrupt:      func() bool { return ctx.Err() != nil },
+		}
+		var rep pitchfork.Report
+		var err error
+		if a.cfg.symbolic {
+			rep, err = pitchfork.AnalyzeSymbolic(q.symMachine(), opts)
+		} else {
+			rep, err = pitchfork.Analyze(q.machine(), opts)
+		}
+		if err != nil {
+			return rep, err
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return rep, ctxErr
+		}
+		return rep, nil
+	}
+}
+
+// repairResultOf lifts an engine result into the wire schema,
+// remapping the CTL function-entry table of the repaired program
+// through the fence address shift.
+func repairResultOf(a *Analyzer, p *Program, res *repair.Result) *RepairResult {
+	funcs := make(map[string]Addr, len(p.funcs))
+	for name, addr := range p.funcs {
+		funcs[name] = res.MapTarget(addr)
+	}
+	repaired := p.withProg(res.Prog)
+	repaired.funcs = funcs
+	out := &RepairResult{
+		Outcome:     res.Outcome.String(),
+		Program:     repaired,
+		Sites:       append([]Addr(nil), res.Sites...),
+		FencePoints: append([]Addr(nil), res.Fences...),
+		Cost: RepairCost{
+			Fences:            len(res.Sites),
+			PreMinimizeFences: res.PreMinimizeFences,
+			Iterations:        res.Iterations,
+			InstrBefore:       p.prog.Len(),
+			InstrAfter:        res.Prog.Len(),
+			StatesBefore:      res.Before.States,
+			StatesAfter:       res.After.States,
+		},
+		Before: reportOf(res.Before, a.cfg.bound, a.cfg.forwardHazards),
+		After:  reportOf(res.After, a.cfg.bound, a.cfg.forwardHazards),
+	}
+	return out
+}
+
+// RepairBatchResult is the outcome for one RepairAll item. Exactly one
+// of Result and Err is meaningful per item, except for context
+// cancellation mid-repair, where a partial result may accompany the
+// error.
+type RepairBatchResult struct {
+	Name   string
+	Result *RepairResult
+	Err    error
+}
+
+// RepairAll repairs a corpus of programs, fanning the items across
+// the analyzer's worker pool: up to WithWorkers repairs run
+// concurrently, each with single-goroutine verification (corpus-level
+// fan-out parallelizes strictly better than splitting each small
+// exploration). Results are returned in input order. Cancelling the
+// context stops new items from starting and aborts running ones.
+func (a *Analyzer) RepairAll(ctx context.Context, items []BatchItem) []RepairBatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]RepairBatchResult, len(items))
+	for i, it := range items {
+		out[i].Name = it.Name
+	}
+	workers := a.cfg.workers
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				it := items[i]
+				if it.Program == nil {
+					out[i].Err = fmt.Errorf("spectre: batch item %d (%q): nil program", i, it.Name)
+					continue
+				}
+				out[i].Result, out[i].Err = a.repairWith(ctx, it.Program, 1)
+			}
+		}()
+	}
+	for i := range items {
+		if err := ctx.Err(); err != nil {
+			for j := i; j < len(items); j++ {
+				out[j].Err = err
+			}
+			break
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// withProg returns a Program sharing p's register seeds and symbolic
+// bindings but carrying a different instruction/data image — how the
+// repair engine rebuilds machines for rewritten candidates. The CTL
+// address tables are shared as-is; callers exposing a rewritten
+// program publicly must remap funcs (see repairResultOf).
+func (p *Program) withProg(ip *isa.Program) *Program {
+	return &Program{
+		prog:    ip,
+		regs:    p.regs,
+		symRegs: p.symRegs,
+		symMem:  p.symMem,
+		globals: p.globals,
+		funcs:   p.funcs,
+	}
+}

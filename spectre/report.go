@@ -82,6 +82,26 @@ const (
 	VariantUnknown = "unclassified"
 )
 
+// Speculation-source kind strings used in SpecSource.Kind.
+const (
+	SourceBranch = "branch"
+	SourceStore  = "store"
+	SourceReturn = "return"
+)
+
+// SpecSource names one speculation primitive that was still
+// unresolved when the leak was detected: the guard the leaking
+// instruction raced ahead of. Kind is one of the Source* constants;
+// PC the guarding instruction's program point. Fence repair anchors
+// its insertions here.
+type SpecSource struct {
+	Kind string `json:"kind"`
+	PC   Addr   `json:"pc"`
+}
+
+// String renders the source, e.g. "branch@4".
+func (s SpecSource) String() string { return fmt.Sprintf("%s@%d", s.Kind, s.PC) }
+
 // Finding is one detected SCT violation in the stable wire schema.
 type Finding struct {
 	// Variant is the heuristic Spectre-variant classification (one of
@@ -89,6 +109,9 @@ type Finding struct {
 	Variant string `json:"variant"`
 	// PC is the program point of the machine when the leak was flagged.
 	PC Addr `json:"pc"`
+	// Sources are the speculation primitives guarding the leak, oldest
+	// first (empty for sequential violations, whose guard has retired).
+	Sources []SpecSource `json:"sources,omitempty"`
 	// Observation is the secret-labeled observation that constitutes
 	// the leak.
 	Observation Observation `json:"observation"`
@@ -227,6 +250,9 @@ func findingOf(v pitchfork.Violation) Finding {
 		PC:          v.PC,
 		Observation: obsOf(v.Obs),
 		Trace:       traceOf(v.Trace),
+	}
+	for _, s := range v.Sources {
+		f.Sources = append(f.Sources, SpecSource{Kind: s.Kind.String(), PC: Addr(s.PC)})
 	}
 	if len(v.Schedule) > 0 {
 		f.Schedule = make([]string, len(v.Schedule))
