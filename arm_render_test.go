@@ -1,0 +1,67 @@
+package pitchfork_test
+
+import (
+	"strings"
+	"testing"
+
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+	"pitchfork/internal/pitchfork"
+	"pitchfork/internal/symx"
+	"pitchfork/internal/testcases"
+)
+
+// TestSymbolicForkArmsRenderDistinctly: when an input-dependent branch
+// resolves before the leak, the two feasible worlds must not render
+// identical schedules on the wire — the Arm annotation keeps them
+// distinguishable for consumers deduplicating or replaying by
+// schedule.
+func TestSymbolicForkArmsRenderDistinctly(t *testing.T) {
+	sm, err := testcases.Kocher()[0].BuildSym()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := pitchfork.AnalyzeSymbolic(sm, pitchfork.Options{Bound: 20, ForwardHazards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	armed := false
+	for _, v := range rep.Violations {
+		s := v.Schedule.String()
+		if seen[s] {
+			t.Fatalf("two findings render the identical schedule %q", s)
+		}
+		seen[s] = true
+		if strings.Contains(s, ": taken") || strings.Contains(s, ": not-taken") {
+			armed = true
+		}
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("kocher01 must be flagged")
+	}
+	_ = armed // arms appear only when a fork resolves pre-leak; uniqueness is the contract
+
+	// A branch on a secret leaks through its own jump observation, so
+	// the violating schedule ends in the fork's resolution — both
+	// worlds are feasible and both flag, and the Arm annotation is
+	// what tells their schedules apart.
+	b := isa.NewBuilder(1)
+	b.Br(isa.OpNe, []isa.Operand{isa.R(isa.Reg(0)), isa.ImmW(0)}, 2, 3)
+	b.Op(isa.Reg(1), isa.OpMov, isa.ImmW(1))
+	sb := pitchfork.NewSym(b.MustBuild())
+	sb.SetReg(isa.Reg(0), symx.NewVar("k", mem.Secret))
+	srep, err := pitchfork.AnalyzeSymbolic(sb, pitchfork.Options{Bound: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var taken, notTaken bool
+	for _, v := range srep.Violations {
+		s := v.Schedule.String()
+		taken = taken || strings.Contains(s, ": taken")
+		notTaken = notTaken || strings.Contains(s, ": not-taken")
+	}
+	if !taken || !notTaken {
+		t.Fatalf("fork arms not annotated: taken=%t notTaken=%t (%d violations)", taken, notTaken, len(srep.Violations))
+	}
+}

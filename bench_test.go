@@ -268,6 +268,92 @@ func BenchmarkScheduleGenerationDedup(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// Symbolic-domain schedule generation on the unified engine: the same
+// serial / parallel / dedup trio as the concrete sweep above, with the
+// attacker index x unconstrained. These are the CI sweep's symbolic
+// throughput trackers.
+// ---------------------------------------------------------------------
+
+func kocherSymMachine() *pitchfork.SymMachine {
+	sm, err := testcases.Kocher()[0].BuildSym()
+	if err != nil {
+		panic(err)
+	}
+	return sm
+}
+
+func BenchmarkSymbolicScheduleGeneration(b *testing.B) {
+	for _, bound := range []int{10, 20, 30} {
+		for _, fwd := range []bool{false, true} {
+			name := fmt.Sprintf("bound=%d/fwd=%t", bound, fwd)
+			b.Run(name, func(b *testing.B) {
+				var rep pitchfork.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = pitchfork.AnalyzeSymbolic(kocherSymMachine(), pitchfork.Options{
+						Bound: bound, ForwardHazards: fwd, MaxStates: 2_000_000,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(rep.Paths), "paths")
+				b.ReportMetric(float64(rep.States), "states")
+			})
+		}
+	}
+}
+
+// BenchmarkSymbolicScheduleGenerationParallel runs the symbolic
+// exploration on the work-stealing pool, one worker per CPU core —
+// path and state counts must match the serial benchmark above.
+func BenchmarkSymbolicScheduleGenerationParallel(b *testing.B) {
+	workers := runtime.NumCPU()
+	for _, bound := range []int{20, 30} {
+		for _, fwd := range []bool{false, true} {
+			name := fmt.Sprintf("bound=%d/fwd=%t", bound, fwd)
+			b.Run(name, func(b *testing.B) {
+				var rep pitchfork.Report
+				for i := 0; i < b.N; i++ {
+					var err error
+					rep, err = pitchfork.AnalyzeSymbolic(kocherSymMachine(), pitchfork.Options{
+						Bound: bound, ForwardHazards: fwd, MaxStates: 2_000_000, Workers: workers,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(rep.Paths), "paths")
+				b.ReportMetric(float64(rep.States), "states")
+			})
+		}
+	}
+}
+
+// BenchmarkSymbolicScheduleGenerationDedup measures fingerprint
+// pruning of re-converged symbolic states (path condition included in
+// the fingerprint).
+func BenchmarkSymbolicScheduleGenerationDedup(b *testing.B) {
+	for _, bound := range []int{20, 30} {
+		name := fmt.Sprintf("bound=%d/fwd=true", bound)
+		b.Run(name, func(b *testing.B) {
+			var rep pitchfork.Report
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = pitchfork.AnalyzeSymbolic(kocherSymMachine(), pitchfork.Options{
+					Bound: bound, ForwardHazards: true, MaxStates: 2_000_000, DedupEntries: 1 << 20,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rep.States), "states")
+			b.ReportMetric(float64(rep.DedupHits), "dedup-hits")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
 // Theorems: the property-test workloads as benchmarks, measuring the
 // semantics itself.
 // ---------------------------------------------------------------------

@@ -3,14 +3,18 @@
 //
 // Usage:
 //
-//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] [-workers N] [-dedup N] [-repair] file.ctl
+//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] [-symbolic] [-symvars x] [-workers N] [-dedup N] [-repair] file.ctl
 //
 // Without -bound/-fwd the two-phase procedure runs: bound 250 without
 // forwarding-hazard detection, then bound 20 with it. With -json the
 // stable machine-readable report schema is emitted instead of the
 // human-readable summary. -workers parallelizes the exploration over a
 // work-stealing pool (0 means all CPU cores); -dedup bounds an optional
-// state-deduplication table that prunes re-converged schedules.
+// state-deduplication table that prunes re-converged schedules. Both
+// compose with -symbolic, which switches to the symbolic detector:
+// the globals named by -symvars (default x, the corpus convention for
+// the attacker-controlled index) become unconstrained solver
+// variables, and each finding carries a witness assignment.
 //
 // -repair switches from detection to mitigation: the tool synthesizes
 // a minimal fence set (insert at the guarding speculation source,
@@ -38,6 +42,8 @@ func main() {
 	fwd := flag.Bool("fwd", false, "enable forwarding-hazard detection (with -bound)")
 	all := flag.Bool("all", false, "report all violations, not just the first")
 	jsonOut := flag.Bool("json", false, "emit the machine-readable JSON report")
+	symbolic := flag.Bool("symbolic", false, "symbolic mode: unbind the -symvars globals as unconstrained attacker inputs")
+	symvars := flag.String("symvars", "x", "comma-separated CTL globals to unbind in -symbolic mode")
 	workers := flag.Int("workers", 1, "exploration worker goroutines (0 = all CPU cores)")
 	dedup := flag.Int("dedup", 0, "bound of the state-dedup table (0 = off)")
 	doRepair := flag.Bool("repair", false, "synthesize a minimal fence repair and emit the repaired program with its cost table")
@@ -61,6 +67,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *symbolic {
+		for _, name := range strings.Split(*symvars, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !prog.SymbolicGlobal(name, name) {
+				fatal(fmt.Errorf("-symbolic: no global %q to unbind", name))
+			}
+		}
+	}
 
 	// Interrupting the process (SIGINT) cancels the analysis and still
 	// reports the findings accumulated so far.
@@ -68,7 +85,11 @@ func main() {
 	defer stop()
 
 	if *doRepair {
-		opts := []spectre.Option{spectre.WithWorkers(*workers), spectre.WithDedup(*dedup)}
+		opts := []spectre.Option{
+			spectre.WithSymbolic(*symbolic),
+			spectre.WithWorkers(*workers),
+			spectre.WithDedup(*dedup),
+		}
 		if *bound > 0 {
 			opts = append(opts, spectre.WithBound(*bound), spectre.WithForwardHazards(*fwd))
 		}
@@ -104,6 +125,7 @@ func main() {
 			spectre.WithBound(*bound),
 			spectre.WithForwardHazards(*fwd),
 			spectre.WithStopAtFirst(!*all),
+			spectre.WithSymbolic(*symbolic),
 			spectre.WithWorkers(*workers),
 			spectre.WithDedup(*dedup),
 		)
@@ -133,6 +155,7 @@ func main() {
 
 	an, err := spectre.New(
 		spectre.WithStopAtFirst(!*all),
+		spectre.WithSymbolic(*symbolic),
 		spectre.WithWorkers(*workers),
 		spectre.WithDedup(*dedup),
 	)

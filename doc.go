@@ -4,11 +4,49 @@
 // constant-time (SCT) security property, and the Pitchfork detector,
 // together with every substrate the paper's evaluation relies on.
 //
+// # Architecture: one engine, two domains
+//
+// Detection is organized around a single domain-parameterized
+// speculation engine (internal/sched): the paper's worst-case schedule
+// strategy DT(n) (§4.1), a serial and a work-stealing parallel driver,
+// a bounded fingerprint-dedup table, exploration budgets, streaming
+// violation callbacks, and a deterministic schedule-order merge. The
+// engine drives any implementation of its Machine interface — a value
+// domain that applies single attacker directives and reports its
+// reorder-buffer shape:
+//
+//	                  ┌────────────────────────────┐
+//	                  │  internal/sched (engine)   │
+//	                  │  DT(n) strategy · workers  │
+//	                  │  dedup · budgets · merge   │
+//	                  └─────────┬───────┬──────────┘
+//	                   Machine  │       │  Machine
+//	            ┌───────────────┘       └───────────────┐
+//	┌───────────┴───────────┐           ┌───────────────┴─────────┐
+//	│ concrete domain       │           │ symbolic domain         │
+//	│ internal/core + mem   │           │ internal/pitchfork over │
+//	│ (labeled words, §3)   │           │ internal/symx (exprs,   │
+//	│                       │           │ path conditions, §4.2)  │
+//	└───────────┬───────────┘           └───────────────┬─────────┘
+//	            └───────────────┬───────────────────────┘
+//	                  ┌─────────┴──────────┐
+//	                  │  spectre (façade)  │
+//	                  │  Analyzer · Repair │
+//	                  └────────────────────┘
+//
+// Because both domains share the engine, every scaling feature —
+// WithWorkers parallelism, WithDedup state pruning, MaxStates /
+// MaxRetired budgets, StopAtFirst, streaming, cancellation, and the
+// deterministic report order — applies identically to concrete and
+// symbolic analysis, and fence repair re-verifies candidates on the
+// same pool in either mode.
+//
 // The supported API surface is the spectre package (pitchfork/spectre):
 // a ProgramBuilder, an Analyzer with functional options and streaming,
 // context-aware analysis, a stable JSON report schema, and automatic
 // fence repair (Repair/RepairAll). See README.md for the tour and
 // quickstart. The implementation lives under internal/; the root
 // package holds only the repository-level benchmark harness
-// (bench_test.go).
+// (bench_test.go) and the cross-domain differential and determinism
+// suites.
 package pitchfork

@@ -1,12 +1,15 @@
 // Quickstart: build the paper's Figure 1 gadget against the public
-// spectre API, prove it is sequentially constant-time, then catch the
-// Spectre v1 violation with the detector.
+// spectre API, prove it is sequentially constant-time, catch the
+// Spectre v1 violation with the concrete detector, then find the same
+// leak with no concrete attacker input at all — the symbolic detector
+// running in parallel on the same engine, witness included.
 package main
 
 import (
 	"context"
 	"fmt"
 	"log"
+	"runtime"
 	"strings"
 
 	"pitchfork/spectre"
@@ -48,5 +51,37 @@ func main() {
 	for _, f := range rep.Findings {
 		fmt.Printf("  schedule: %s\n", strings.Join(f.Schedule, "; "))
 		fmt.Printf("  trace:    %s\n", f.Trace)
+	}
+
+	// The same gadget with the attacker index unconstrained: symbolic
+	// mode shares the engine, so WithWorkers and WithStopAtFirst
+	// compose with it, and each finding carries a witness index.
+	symProg := spectre.NewProgramBuilder().
+		Br(spectre.OpGt, []spectre.Operand{spectre.Imm(4), spectre.R(ra)}, 2, 4).
+		Load(rb, spectre.Imm(0x40), spectre.R(ra)).
+		Load(rc, spectre.Imm(0x44), spectre.R(rb)).
+		Public(0x40, 10, 11, 12, 13).
+		Public(0x44, 20, 21, 22, 23).
+		Secret(0x48, 0xA0, 0xA1, 0xA2, 0xA3).
+		SymbolicReg(ra, "x"). // any attacker-chosen index
+		MustBuild()
+	symAn, err := spectre.New(
+		spectre.WithSymbolic(true),
+		spectre.WithWorkers(runtime.NumCPU()),
+		spectre.WithStopAtFirst(true),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	symRep, err := symAn.Run(context.Background(), symProg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsymbolic analysis:  ", symRep.Summary())
+	for _, f := range symRep.Findings {
+		fmt.Printf("  witness:  x = %d\n", f.Witness["x"])
+	}
+	if symRep.SecretFree {
+		log.Fatal("symbolic mode must rediscover the v1 leak")
 	}
 }

@@ -30,7 +30,18 @@ type Directive struct {
 	Target isa.Addr // DFetchTarget: the guessed program point
 	I      int      // DExecute*: the reorder-buffer index to execute
 	From   int      // DExecFwd: the store index j to forward from
+	// Arm disambiguates domain-level forks on one execute directive —
+	// a symbolic branch condition resolving into both feasible worlds.
+	// 0 = no fork; ArmTaken / ArmNotTaken name the world. Concrete
+	// executions never set it.
+	Arm uint8
 }
+
+// Arm values for Directive.Arm.
+const (
+	ArmTaken    uint8 = 1
+	ArmNotTaken uint8 = 2
+)
 
 // Fetch returns the plain fetch directive.
 func Fetch() Directive { return Directive{Kind: DFetch} }
@@ -80,6 +91,12 @@ func (d Directive) String() string {
 	case DFetchTarget:
 		return fmt.Sprintf("fetch: %d", d.Target)
 	case DExecute:
+		switch d.Arm {
+		case ArmTaken:
+			return fmt.Sprintf("execute %d : taken", d.I)
+		case ArmNotTaken:
+			return fmt.Sprintf("execute %d : not-taken", d.I)
+		}
 		return fmt.Sprintf("execute %d", d.I)
 	case DExecValue:
 		return fmt.Sprintf("execute %d : value", d.I)

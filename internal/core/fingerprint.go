@@ -87,6 +87,15 @@ func (t *Transient) hashInto(f *hasher) {
 	f.word(uint64(t.PredFrom))
 }
 
+// Hash folds the RSB journal (policy included) to 64 bits — exported
+// so non-core domains of the exploration engine can fingerprint the
+// RSB they embed.
+func (s *RSB) Hash() uint64 {
+	f := newHasher()
+	s.hashInto(&f)
+	return f.h
+}
+
 func (s *RSB) hashInto(f *hasher) {
 	f.word(uint64(s.policy))
 	for _, e := range s.entries {

@@ -3,22 +3,25 @@
 // under worst-case attacker schedules and flagging observations whose
 // labels are secret.
 //
-// Two modes are provided:
+// Both modes run on one domain-parameterized speculation engine — the
+// DT(n) schedule strategy, work-stealing pool, fingerprint dedup,
+// budgets, and deterministic violation merge of internal/sched —
+// instantiated over two value domains:
 //
 //   - Concrete mode (Analyze): the program runs on the reference
-//     machine of internal/core with concrete, labeled inputs, explored
-//     under the DT(n) schedules of internal/sched. Sound and exact for
-//     the given inputs.
+//     machine of internal/core with concrete, labeled inputs. Sound
+//     and exact for the given inputs.
 //
 //   - Symbolic mode (AnalyzeSymbolic): public inputs may be
 //     unconstrained symbolic variables (the attacker-controlled index
-//     of the Kocher cases); execution tracks path conditions, forks at
-//     input-dependent branches, and concretizes addresses with a
-//     leak-hunting policy, mirroring how the original tool drives the
-//     angr engine. Like the original, symbolic mode exercises a subset
-//     of the semantics: conditional-branch speculation and
-//     store-forwarding variants (Spectre v1, v1.1, v4), with indirect
-//     jumps and returns followed architecturally.
+//     of the Kocher cases); the symbolic domain of symbolic.go tracks
+//     path conditions, forks at input-dependent branches, and
+//     concretizes addresses with a leak-hunting policy, mirroring how
+//     the original tool drives the angr engine. Like the original,
+//     symbolic mode exercises a subset of the semantics:
+//     conditional-branch speculation and store-forwarding variants
+//     (Spectre v1, v1.1, v4), with indirect jumps and returns
+//     followed architecturally.
 package pitchfork
 
 import (
@@ -40,14 +43,15 @@ type Options struct {
 	MaxRetired int
 	// StopAtFirst stops at the first violation.
 	StopAtFirst bool
-	// Workers is the number of exploration goroutines for concrete
-	// mode (0 or 1 = serial; n > 1 = work-stealing pool with
-	// violations reported in deterministic schedule order). The
-	// symbolic explorer is single-threaded and ignores it.
+	// Workers is the number of exploration goroutines in either mode
+	// (0 or 1 = serial; n > 1 = work-stealing pool with violations
+	// reported in deterministic schedule order). Both the concrete and
+	// the symbolic domain run on the same engine and pool.
 	Workers int
 	// DedupEntries, when positive, bounds a machine-fingerprint table
-	// that prunes re-converged exploration states in concrete mode
-	// (0 = off). See sched.Options.DedupEntries for the trade-offs.
+	// that prunes re-converged exploration states in either mode
+	// (0 = off); symbolic fingerprints include the path condition. See
+	// sched.Options.DedupEntries for the trade-offs.
 	DedupEntries int
 	// SolverSeed seeds the symbolic solver (symbolic mode only).
 	SolverSeed int64
@@ -78,7 +82,7 @@ const (
 type Violation struct {
 	Obs      core.Observation
 	Kind     sched.VariantKind
-	Schedule core.Schedule // concrete mode only
+	Schedule core.Schedule // attacker directive schedule (both modes)
 	Trace    core.Trace
 	Model    map[string]uint64 // symbolic mode: a witness assignment
 	PC       uint64
@@ -126,13 +130,14 @@ func (r Report) Summary() string {
 		len(r.Violations), r.Mode, r.States, r.Paths, r.Violations[0])
 }
 
-// violationOf lifts a scheduler violation into the detector's type.
+// violationOf lifts an engine violation into the detector's type.
 func violationOf(v sched.Violation) Violation {
 	return Violation{
 		Obs:      v.Obs,
 		Kind:     v.Kind,
 		Schedule: v.Schedule,
 		Trace:    v.Trace,
+		Model:    v.Model,
 		PC:       uint64(v.PC),
 		Sources:  v.Sources,
 	}

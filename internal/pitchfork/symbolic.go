@@ -1,3 +1,22 @@
+// The symbolic value domain of the unified speculation engine.
+//
+// Symbolic analysis no longer carries its own fetch/execute/retire
+// exploration loop: internal/sched's domain-parameterized engine
+// drives the §4.1 worst-case schedule strategy, and this file only
+// implements the sched.Machine contract over symbolic state — labeled
+// expressions in registers and memory, path conditions from resolved
+// input-dependent branches, and angr-style leak-hunting address
+// concretization (§4.2). The engine's work-stealing pool, fingerprint
+// dedup, budgets, and deterministic violation merging therefore apply
+// to symbolic runs exactly as to concrete ones.
+//
+// Like the original tool, the symbolic domain exercises a subset of
+// the semantics: conditional-branch speculation and store-forwarding
+// variants (Spectre v1, v1.1, v4), with indirect jumps and returns
+// followed architecturally. An input-dependent branch forks the
+// exploration into every feasible world (a domain-level fork the
+// engine handles uniformly); a symbolic indirect-jump target ends the
+// path, as it is outside the modeled subset.
 package pitchfork
 
 import (
@@ -47,8 +66,14 @@ func (m *SymMachine) SetMem(a mem.Word, e symx.Expr) *SymMachine {
 	return m
 }
 
+// symStall reports a non-applicable directive; the engine treats any
+// step error as a stall and ends (or redirects) the path.
+func symStall(format string, args ...any) error {
+	return fmt.Errorf("pitchfork: symbolic stall: "+format, args...)
+}
+
 // symTransient mirrors the subset of transient instructions the
-// symbolic executor handles (Table 1 minus aliasing prediction, like
+// symbolic domain handles (Table 1 minus aliasing prediction, like
 // the original tool).
 type symTransient struct {
 	kind core.TKind
@@ -91,45 +116,61 @@ func (t *symTransient) assigns(r isa.Reg) bool {
 	return false
 }
 
-// symState is one node of the symbolic exploration tree.
-type symState struct {
-	regs  map[isa.Reg]symx.Expr
-	mem   *symx.Memory
-	pc    isa.Addr
-	buf   []*symTransient
-	base  int
-	rsb   *core.RSB
-	pcond symx.PathCondition
-	trace core.Trace
-	// tracePP records, per trace entry, the program point of the
-	// instruction that produced the observation (mirrors the concrete
-	// explorer's attribution).
-	tracePP []isa.Addr
+// symMachine is the symbolic domain: one speculative machine
+// configuration over expressions, implementing sched.Machine. The
+// solver and concretizer are shared across clones — they are
+// stateless per query (deterministically self-seeding), so concurrent
+// exploration workers may use them without coordination.
+type symMachine struct {
+	prog    *isa.Program
+	regs    map[isa.Reg]symx.Expr
+	mem     *symx.Memory
+	pc      isa.Addr
+	buf     []*symTransient
+	base    int
+	rsb     *core.RSB
+	pcond   symx.PathCondition
 	retired int
-	pending map[int]bool
+
+	solver *symx.Solver
+	concr  *symx.Concretizer
 }
 
-// observe appends observations attributed to the instruction at pp.
-func (s *symState) observe(pp isa.Addr, obs ...core.Observation) {
-	for _, o := range obs {
-		s.trace = append(s.trace, o)
-		s.tracePP = append(s.tracePP, pp)
+// newSymMachine lowers an initial configuration into the domain.
+func newSymMachine(m *SymMachine, solverSeed int64) *symMachine {
+	solver := symx.NewSolver(solverSeed + 1)
+	s := &symMachine{
+		prog:   m.Prog,
+		regs:   make(map[isa.Reg]symx.Expr, len(m.Regs)),
+		mem:    m.Mem.Clone(),
+		pc:     m.PC,
+		base:   1,
+		rsb:    core.NewRSB(core.RSBAttackerChoice),
+		solver: solver,
+		concr:  symx.NewConcretizer(solver),
 	}
+	for r, e := range m.Regs {
+		s.regs[r] = e
+	}
+	return s
 }
 
-func (s *symState) clone() *symState {
-	c := &symState{
+// Clone implements sched.Machine. Expressions are immutable and
+// shared; the path-condition prefix is shared (With copies on
+// extension); solver and concretizer are shared by design.
+func (s *symMachine) Clone() sched.Machine {
+	c := &symMachine{
+		prog:    s.prog,
 		regs:    make(map[isa.Reg]symx.Expr, len(s.regs)),
 		mem:     s.mem.Clone(),
 		pc:      s.pc,
 		buf:     make([]*symTransient, len(s.buf)),
 		base:    s.base,
 		rsb:     s.rsb.Clone(),
-		pcond:   s.pcond, // shared immutable prefix
-		trace:   append(core.Trace(nil), s.trace...),
-		tracePP: append([]isa.Addr(nil), s.tracePP...),
+		pcond:   s.pcond,
 		retired: s.retired,
-		pending: make(map[int]bool, len(s.pending)),
+		solver:  s.solver,
+		concr:   s.concr,
 	}
 	for r, e := range s.regs {
 		c.regs[r] = e
@@ -138,46 +179,70 @@ func (s *symState) clone() *symState {
 		cp := *t
 		c.buf[i] = &cp
 	}
-	for k, v := range s.pending {
-		c.pending[k] = v
-	}
 	return c
 }
 
-func (s *symState) min() int    { return s.base }
-func (s *symState) max() int    { return s.base + len(s.buf) - 1 }
-func (s *symState) empty() bool { return len(s.buf) == 0 }
-func (s *symState) get(i int) (*symTransient, bool) {
+// ---------------------------------------------------------------------
+// Shape accessors (sched.Machine).
+// ---------------------------------------------------------------------
+
+func (s *symMachine) PC() isa.Addr { return s.pc }
+
+func (s *symMachine) Instr() (isa.Instr, bool) { return s.prog.At(s.pc) }
+
+func (s *symMachine) RetiredCount() int { return s.retired }
+
+func (s *symMachine) BufLen() int { return len(s.buf) }
+
+func (s *symMachine) BufMin() int { return s.base }
+
+func (s *symMachine) BufMax() int { return s.base + len(s.buf) - 1 }
+
+func (s *symMachine) get(i int) (*symTransient, bool) {
 	if i < s.base || i >= s.base+len(s.buf) {
 		return nil, false
 	}
 	return s.buf[i-s.base], true
 }
 
-func (s *symState) append(t *symTransient) int {
+func (s *symMachine) append(t *symTransient) int {
 	s.buf = append(s.buf, t)
 	return s.base + len(s.buf) - 1
 }
 
-func (s *symState) truncateFrom(i int) {
+// truncateFrom implements buf[j : j < i] plus the RSB rollback the
+// misspeculation rules pair it with.
+func (s *symMachine) truncateFrom(i int) {
 	if i <= s.base {
 		s.buf = s.buf[:0]
-		return
-	}
-	if i <= s.base+len(s.buf) {
+	} else if i <= s.base+len(s.buf) {
 		s.buf = s.buf[:i-s.base]
 	}
 	s.rsb.Rollback(i)
-	s.pending = make(map[int]bool)
 }
 
-func (s *symState) popMinN(k int) {
+func (s *symMachine) popMinN(k int) {
 	s.buf = s.buf[k:]
 	s.base += k
 }
 
-func (s *symState) fenceBefore(i int) bool {
-	for j := s.base; j < i && j <= s.max(); j++ {
+func (s *symMachine) View(i int) (sched.TransientView, bool) {
+	t, ok := s.get(i)
+	if !ok {
+		return sched.TransientView{}, false
+	}
+	return sched.TransientView{
+		Kind:      t.kind,
+		Resolved:  t.resolved(),
+		ValKnown:  t.valKnown,
+		AddrKnown: t.addrKnown,
+		PP:        t.pp,
+		FwdSecret: t.kind == core.TValue && t.fromLoad && t.dep != core.NoDep && t.val != nil && t.val.Label().IsSecret(),
+	}, true
+}
+
+func (s *symMachine) FenceBefore(i int) bool {
+	for j := s.base; j < i && j <= s.BufMax(); j++ {
 		if t, _ := s.get(j); t != nil && t.kind == core.TFence {
 			return true
 		}
@@ -185,9 +250,63 @@ func (s *symState) fenceBefore(i int) bool {
 	return false
 }
 
-// resolveReg is the register resolve function lifted to expressions.
-func (s *symState) resolveReg(i int, r isa.Reg) (symx.Expr, bool) {
-	hi := s.max()
+func (s *symMachine) RSBTop() (isa.Addr, bool) { return s.rsb.Top() }
+
+// PeekJmpi resolves an indirect jump's architectural target; a target
+// that stays symbolic is outside the modeled subset, so ok is false
+// and the engine falls through to draining pending work.
+func (s *symMachine) PeekJmpi(in isa.Instr) (isa.Addr, bool) {
+	args, ok := s.resolveArgs(s.BufMax()+1, in.Args)
+	if !ok {
+		return 0, false
+	}
+	tv, ok := addrExpr(args).Concrete()
+	if !ok {
+		return 0, false
+	}
+	return tv.W, true
+}
+
+// PeekRet predicts through the in-memory return address when the RSB
+// is empty, like the concrete machine.
+func (s *symMachine) PeekRet() (isa.Addr, bool) {
+	sp, ok := s.resolveReg(s.BufMax()+1, mem.RSP)
+	if !ok {
+		return 0, false
+	}
+	sv, ok := sp.Concrete()
+	if !ok {
+		return 0, false
+	}
+	tv, ok := s.mem.Read(sv.W).Concrete()
+	if !ok {
+		return 0, false
+	}
+	return tv.W, true
+}
+
+// Witness solves the path condition for a satisfying assignment of
+// the symbolic inputs — the model each violation carries.
+func (s *symMachine) Witness() map[string]uint64 {
+	env, ok := s.solver.Solve(s.pcond)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]uint64, len(env))
+	for k, w := range env {
+		out[k] = uint64(w)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Register/operand resolution over the speculative buffer.
+// ---------------------------------------------------------------------
+
+// resolveReg is the register resolve function (Fig. 3) lifted to
+// expressions.
+func (s *symMachine) resolveReg(i int, r isa.Reg) (symx.Expr, bool) {
+	hi := s.BufMax()
 	if i-1 < hi {
 		hi = i - 1
 	}
@@ -209,14 +328,14 @@ func (s *symState) resolveReg(i int, r isa.Reg) (symx.Expr, bool) {
 	return symx.CW(0), true
 }
 
-func (s *symState) resolveOperand(i int, o isa.Operand) (symx.Expr, bool) {
+func (s *symMachine) resolveOperand(i int, o isa.Operand) (symx.Expr, bool) {
 	if !o.IsReg {
 		return symx.C(o.Imm), true
 	}
 	return s.resolveReg(i, o.Reg)
 }
 
-func (s *symState) resolveArgs(i int, os []isa.Operand) ([]symx.Expr, bool) {
+func (s *symMachine) resolveArgs(i int, os []isa.Operand) ([]symx.Expr, bool) {
 	out := make([]symx.Expr, len(os))
 	for k, o := range os {
 		e, ok := s.resolveOperand(i, o)
@@ -232,433 +351,174 @@ func addrExpr(args []symx.Expr) symx.Expr {
 	return symx.Apply(isa.OpAdd, args...)
 }
 
-// symbolicAnalyzer drives the DT(n) strategy over symbolic states.
-type symbolicAnalyzer struct {
-	prog   *isa.Program
-	opts   Options
-	solver *symx.Solver
-	concr  *symx.Concretizer
-	rep    *Report
-	// stopped is set when an OnViolation callback asks to stop.
-	stopped bool
+// ---------------------------------------------------------------------
+// Directive application (sched.Machine.Step).
+// ---------------------------------------------------------------------
+
+// self wraps the in-place-mutated receiver as the single successor.
+func (s *symMachine) self(d core.Directive, obs ...core.Observation) ([]sched.Successor, error) {
+	return []sched.Successor{{M: s, D: d, Obs: obs}}, nil
 }
 
-// AnalyzeSymbolic runs the symbolic-mode detector.
-func AnalyzeSymbolic(m *SymMachine, opts Options) (Report, error) {
-	if opts.Bound < 1 {
-		return Report{}, fmt.Errorf("pitchfork: speculation bound must be positive, got %d", opts.Bound)
+// Step implements sched.Machine: one directive of the speculative
+// semantics over symbolic state. Deterministic steps mutate the
+// receiver; an input-dependent branch resolution returns one cloned
+// successor per feasible world.
+func (s *symMachine) Step(d core.Directive) ([]sched.Successor, error) {
+	switch d.Kind {
+	case core.DFetch, core.DFetchGuess, core.DFetchTarget:
+		return s.stepFetch(d)
+	case core.DExecute:
+		return s.stepExecute(d)
+	case core.DExecValue:
+		return s.stepExecValue(d)
+	case core.DExecAddr:
+		return s.stepExecAddr(d)
+	case core.DRetire:
+		return s.stepRetire(d)
 	}
-	if opts.MaxStates == 0 {
-		opts.MaxStates = sched.DefaultMaxStates
-	}
-	if opts.MaxRetired == 0 {
-		opts.MaxRetired = sched.DefaultMaxRetired
-	}
-	solver := symx.NewSolver(opts.SolverSeed + 1)
-	a := &symbolicAnalyzer{
-		prog:   m.Prog,
-		opts:   opts,
-		solver: solver,
-		concr:  symx.NewConcretizer(solver),
-		rep:    &Report{Mode: "symbolic", Workers: 1},
-	}
-	root := &symState{
-		regs:    make(map[isa.Reg]symx.Expr, len(m.Regs)),
-		mem:     m.Mem.Clone(),
-		pc:      m.PC,
-		base:    1,
-		rsb:     core.NewRSB(core.RSBAttackerChoice),
-		pending: make(map[int]bool),
-	}
-	for r, e := range m.Regs {
-		root.regs[r] = e
-	}
-	stack := []*symState{root}
-	for len(stack) > 0 {
-		if a.rep.States >= opts.MaxStates {
-			a.rep.Truncated = true
-			break
-		}
-		if opts.Interrupt != nil && opts.Interrupt() {
-			a.rep.Interrupted = true
-			break
-		}
-		st := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		a.rep.States++
-		done, forks := a.advance(st)
-		if done {
-			a.rep.Paths++
-			if a.stopped {
-				a.rep.Interrupted = true
-				break
-			}
-			if opts.StopAtFirst && len(a.rep.Violations) > 0 {
-				break
-			}
-			continue
-		}
-		stack = append(stack, forks...)
-	}
-	return *a.rep, nil
+	return nil, symStall("directive %q not in the symbolic subset", d)
 }
 
-func (a *symbolicAnalyzer) flag(st *symState, at int) {
-	v := Violation{
-		Obs:     st.trace[at],
-		Trace:   append(core.Trace(nil), st.trace[:at+1]...),
-		Kind:    a.classify(st),
-		PC:      uint64(st.tracePP[at]),
-		Sources: st.specSources(),
-	}
-	if env, ok := a.solver.Solve(st.pcond); ok {
-		v.Model = make(map[string]uint64, len(env))
-		for k, w := range env {
-			v.Model[k] = w
-		}
-	}
-	a.rep.Violations = append(a.rep.Violations, v)
-	if a.opts.OnViolation != nil && !a.opts.OnViolation(v) {
-		a.stopped = true
-	}
-}
-
-// specSources mirrors the concrete explorer's speculation-source
-// collection over the symbolic reorder buffer.
-func (st *symState) specSources() []sched.Source {
-	var out []sched.Source
-	seen := make(map[sched.Source]bool)
-	add := func(s sched.Source) {
-		if !seen[s] {
-			seen[s] = true
-			out = append(out, s)
-		}
-	}
-	for _, t := range st.buf {
-		switch t.kind {
-		case core.TBr:
-			add(sched.Source{Kind: sched.SrcBranch, PC: t.pp})
-		case core.TStore:
-			if !t.addrKnown {
-				add(sched.Source{Kind: sched.SrcStore, PC: t.pp})
-			}
-		case core.TRet:
-			add(sched.Source{Kind: sched.SrcRet, PC: t.pp})
-		}
-	}
-	return out
-}
-
-func (a *symbolicAnalyzer) classify(st *symState) sched.VariantKind {
-	brInFlight, staleWindow, fwdSecret := false, false, false
-	for _, t := range st.buf {
-		switch t.kind {
-		case core.TBr:
-			brInFlight = true
-		case core.TStore:
-			if !t.addrKnown {
-				staleWindow = true
-			}
-		case core.TValue:
-			if t.fromLoad && t.dep != core.NoDep && t.val != nil && t.val.Label().IsSecret() {
-				fwdSecret = true
-			}
-		}
-	}
-	switch {
-	case brInFlight && fwdSecret:
-		return sched.VariantV11
-	case brInFlight:
-		return sched.VariantV1
-	case staleWindow:
-		return sched.VariantV4
-	case st.empty():
-		return sched.VariantSeq
-	default:
-		return sched.VariantSeq
-	}
-}
-
-// advance performs one strategy decision; mirrors sched.Explorer.
-func (a *symbolicAnalyzer) advance(st *symState) (bool, []*symState) {
-	if i := st.trace.FirstSecret(); i >= 0 {
-		a.flag(st, i)
-		return true, nil
-	}
-	_, fetchable := a.prog.At(st.pc)
-	if (st.empty() && !fetchable) || st.retired >= a.opts.MaxRetired {
-		return true, nil
-	}
-
-	// Fetch phase.
-	if len(st.buf) < a.opts.Bound && fetchable {
-		in, _ := a.prog.At(st.pc)
-		switch in.Kind {
-		case isa.KBr:
-			tArm, fArm := st, st.clone()
-			tArm.fetchBranch(in, true)
-			fArm.fetchBranch(in, false)
-			return false, []*symState{tArm, fArm}
-		case isa.KJmpi:
-			if args, ok := st.resolveArgs(st.max()+1, in.Args); ok {
-				target := addrExpr(args)
-				if tv, ok := target.Concrete(); ok {
-					st.append(&symTransient{kind: core.TJmpi, args: in.Args, guess: tv.W, pp: st.pc})
-					st.pc = tv.W
-					return false, []*symState{st}
-				}
-				// Symbolic indirect target: outside the tool's subset.
-				return true, nil
-			}
-			// Operands pending: execute below first.
-		case isa.KCall:
-			i := st.append(&symTransient{kind: core.TCall, pp: st.pc})
-			st.append(&symTransient{kind: core.TOp, dst: mem.RSP, op: isa.OpSucc, args: []isa.Operand{isa.R(mem.RSP)}, pp: st.pc})
-			st.append(&symTransient{
-				kind: core.TStore, src: isa.Imm(mem.Pub(in.RetPt)),
-				valKnown: true, sval: symx.CW(in.RetPt),
-				args: []isa.Operand{isa.R(mem.RSP)},
-				pp:   st.pc,
-			})
-			st.rsb.Push(i, in.RetPt)
-			st.pc = in.Callee
-			return false, []*symState{st}
-		case isa.KRet:
-			target, ok := st.rsb.Top()
-			if !ok {
-				// Architectural prediction through the stack slot.
-				target, ok = a.peekRet(st)
-				if !ok {
-					break // execute pending work first
-				}
-			}
-			i := st.append(&symTransient{kind: core.TRet, pp: st.pc})
-			st.append(&symTransient{kind: core.TLoad, dst: mem.RTMP, args: []isa.Operand{isa.R(mem.RSP)}, pp: st.pc})
-			st.append(&symTransient{kind: core.TOp, dst: mem.RSP, op: isa.OpPred, args: []isa.Operand{isa.R(mem.RSP)}, pp: st.pc})
-			st.append(&symTransient{kind: core.TJmpi, args: []isa.Operand{isa.R(mem.RTMP)}, guess: target, pp: st.pc})
-			st.rsb.Pop(i)
-			st.pc = target
-			return false, []*symState{st}
-		default:
-			st.fetchSimple(in)
-			return false, []*symState{st}
-		}
-	}
-
-	// Execute phase: oldest actionable first.
-	if forks, acted := a.executePhase(st); acted {
-		return false, forks
-	}
-
-	// Force phase on the oldest instruction.
-	i := st.min()
-	t, ok := st.get(i)
+func (s *symMachine) stepFetch(d core.Directive) ([]sched.Successor, error) {
+	in, ok := s.prog.At(s.pc)
 	if !ok {
-		return true, nil
+		return nil, symStall("nothing to fetch at halt point %d", s.pc)
 	}
-	if t.resolved() {
-		if a.retire(st) {
-			return false, []*symState{st}
-		}
-		// A call/ret marker retires only with its whole expansion
-		// resolved: force the first unresolved member.
-		for j := i + 1; j <= st.max(); j++ {
-			u, ok := st.get(j)
-			if !ok || u.resolved() {
-				continue
-			}
-			return a.forceOne(st, j, u)
-		}
-		return true, nil
-	}
-	return a.forceOne(st, i, t)
-}
-
-// forceOne makes progress on an unresolved instruction regardless of
-// the deferral rules; control-flow instructions may fork on symbolic
-// conditions.
-func (a *symbolicAnalyzer) forceOne(st *symState, i int, t *symTransient) (bool, []*symState) {
-	switch t.kind {
-	case core.TBr, core.TJmpi:
-		return a.execControl(st, i)
-	case core.TOp:
-		if a.execOp(st, i) {
-			return false, []*symState{st}
-		}
-	case core.TStore:
-		if !t.valKnown {
-			if a.execStoreValue(st, i) {
-				return false, []*symState{st}
-			}
-			return true, nil
-		}
-		if a.execStoreAddr(st, i) {
-			return false, []*symState{st}
-		}
-	case core.TLoad:
-		if a.execLoad(st, i) {
-			return false, []*symState{st}
-		}
-	}
-	return true, nil
-}
-
-func (st *symState) fetchBranch(in isa.Instr, taken bool) {
-	guess := in.False
-	if taken {
-		guess = in.True
-	}
-	st.append(&symTransient{kind: core.TBr, op: in.Op, args: in.Args, guess: guess, tTrue: in.True, tFalse: in.False, pp: st.pc})
-	st.pc = guess
-}
-
-func (st *symState) fetchSimple(in isa.Instr) {
 	switch in.Kind {
 	case isa.KOp:
-		st.append(&symTransient{kind: core.TOp, dst: in.Dst, op: in.Op, args: in.Args, pp: st.pc})
+		if d.Kind != core.DFetch {
+			return nil, symStall("%s requires a plain fetch", in.Kind)
+		}
+		s.append(&symTransient{kind: core.TOp, dst: in.Dst, op: in.Op, args: in.Args, pp: s.pc})
+		s.pc = in.Next
+		return s.self(d)
 	case isa.KLoad:
-		st.append(&symTransient{kind: core.TLoad, dst: in.Dst, args: in.Args, pp: st.pc})
+		if d.Kind != core.DFetch {
+			return nil, symStall("%s requires a plain fetch", in.Kind)
+		}
+		s.append(&symTransient{kind: core.TLoad, dst: in.Dst, args: in.Args, pp: s.pc})
+		s.pc = in.Next
+		return s.self(d)
 	case isa.KStore:
-		t := &symTransient{kind: core.TStore, src: in.Src, args: in.Args, pp: st.pc}
+		if d.Kind != core.DFetch {
+			return nil, symStall("%s requires a plain fetch", in.Kind)
+		}
+		t := &symTransient{kind: core.TStore, src: in.Src, args: in.Args, pp: s.pc}
 		if !in.Src.IsReg {
 			t.valKnown = true
 			t.sval = symx.C(in.Src.Imm)
 		}
-		st.append(t)
+		s.append(t)
+		s.pc = in.Next
+		return s.self(d)
 	case isa.KFence:
-		st.append(&symTransient{kind: core.TFence, pp: st.pc})
+		if d.Kind != core.DFetch {
+			return nil, symStall("%s requires a plain fetch", in.Kind)
+		}
+		s.append(&symTransient{kind: core.TFence, pp: s.pc})
+		s.pc = in.Next
+		return s.self(d)
+
+	case isa.KBr:
+		if d.Kind != core.DFetchGuess {
+			return nil, symStall("br requires fetch: true/false")
+		}
+		guess := in.False
+		if d.Taken {
+			guess = in.True
+		}
+		s.append(&symTransient{kind: core.TBr, op: in.Op, args: in.Args, guess: guess, tTrue: in.True, tFalse: in.False, pp: s.pc})
+		s.pc = guess
+		return s.self(d)
+
+	case isa.KJmpi:
+		if d.Kind != core.DFetchTarget {
+			return nil, symStall("jmpi requires fetch: n")
+		}
+		s.append(&symTransient{kind: core.TJmpi, args: in.Args, guess: d.Target, pp: s.pc})
+		s.pc = d.Target
+		return s.self(d)
+
+	case isa.KCall:
+		if d.Kind != core.DFetch {
+			return nil, symStall("call requires a plain fetch")
+		}
+		i := s.append(&symTransient{kind: core.TCall, pp: s.pc})
+		s.append(&symTransient{kind: core.TOp, dst: mem.RSP, op: isa.OpSucc, args: []isa.Operand{isa.R(mem.RSP)}, pp: s.pc})
+		s.append(&symTransient{
+			kind: core.TStore, src: isa.Imm(mem.Pub(in.RetPt)),
+			valKnown: true, sval: symx.CW(in.RetPt),
+			args: []isa.Operand{isa.R(mem.RSP)},
+			pp:   s.pc,
+		})
+		s.rsb.Push(i, in.RetPt)
+		s.pc = in.Callee
+		return s.self(d)
+
+	case isa.KRet:
+		target, haveTop := s.rsb.Top()
+		if haveTop {
+			if d.Kind != core.DFetch {
+				return nil, symStall("ret with non-empty RSB requires a plain fetch")
+			}
+		} else {
+			if d.Kind != core.DFetchTarget {
+				return nil, symStall("ret with empty RSB requires fetch: n")
+			}
+			target = d.Target
+		}
+		retPt := s.pc
+		i := s.append(&symTransient{kind: core.TRet, pp: retPt})
+		s.append(&symTransient{kind: core.TLoad, dst: mem.RTMP, args: []isa.Operand{isa.R(mem.RSP)}, pp: retPt})
+		s.append(&symTransient{kind: core.TOp, dst: mem.RSP, op: isa.OpPred, args: []isa.Operand{isa.R(mem.RSP)}, pp: retPt})
+		s.append(&symTransient{kind: core.TJmpi, args: []isa.Operand{isa.R(mem.RTMP)}, guess: target, pp: retPt})
+		s.rsb.Pop(i)
+		s.pc = target
+		return s.self(d)
 	}
-	st.pc = in.Next
+	return nil, symStall("unfetchable instruction kind %v", in.Kind)
 }
 
-func (a *symbolicAnalyzer) peekRet(st *symState) (isa.Addr, bool) {
-	sp, ok := st.resolveReg(st.max()+1, mem.RSP)
+func (s *symMachine) stepExecute(d core.Directive) ([]sched.Successor, error) {
+	t, ok := s.get(d.I)
 	if !ok {
-		return 0, false
+		return nil, symStall("index %d not in buffer [%d,%d]", d.I, s.BufMin(), s.BufMax())
 	}
-	sv, ok := sp.Concrete()
-	if !ok {
-		return 0, false
+	if s.FenceBefore(d.I) {
+		return nil, symStall("fence pending before index %d", d.I)
 	}
-	tv, ok := st.mem.Read(sv.W).Concrete()
-	if !ok {
-		return 0, false
+	switch t.kind {
+	case core.TOp:
+		return s.execOp(d, t)
+	case core.TBr:
+		return s.execBranch(d, t)
+	case core.TJmpi:
+		return s.execJmpi(d, t)
+	case core.TLoad:
+		return s.execLoad(d, t)
 	}
-	return tv.W, true
+	return nil, symStall("index %d has no symbolic execute rule", d.I)
 }
 
-func (a *symbolicAnalyzer) executePhase(st *symState) ([]*symState, bool) {
-	for i := st.min(); i <= st.max(); i++ {
-		t, _ := st.get(i)
-		if st.fenceBefore(i) {
-			break
-		}
-		switch t.kind {
-		case core.TOp:
-			if a.execOp(st, i) {
-				return []*symState{st}, true
-			}
-		case core.TJmpi:
-			// Eager, like the concrete explorer: opens the Fig. 10
-			// stale-return window.
-			if done, forks := a.execControl(st, i); !done {
-				return forks, true
-			}
-		case core.TBr:
-			continue // branches resolve in the second pass below
-		case core.TStore:
-			if !t.valKnown {
-				if a.execStoreValue(st, i) {
-					return []*symState{st}, true
-				}
-				continue
-			}
-			if !t.addrKnown && !a.opts.ForwardHazards {
-				if a.execStoreAddr(st, i) {
-					return []*symState{st}, true
-				}
-			}
-			continue
-		case core.TLoad:
-			if forks, acted := a.loadFork(st, i); acted {
-				return forks, true
-			}
-		}
-	}
-	// Second pass: resolve pending branches young-to-old, keeping the
-	// oldest delayed (see the concrete explorer).
-	oldest := oldestPendingBranchSym(st)
-	for i := st.max(); i > oldest && oldest != 0; i-- {
-		t, ok := st.get(i)
-		if !ok || t.kind != core.TBr || st.fenceBefore(i) {
-			continue
-		}
-		if done, forks := a.execControl(st, i); !done {
-			return forks, true
-		}
-	}
-	return nil, false
-}
-
-func (a *symbolicAnalyzer) loadFork(st *symState, i int) ([]*symState, bool) {
-	var pendingStores []int
-	if a.opts.ForwardHazards && !st.pending[i] {
-		for j := st.min(); j < i; j++ {
-			if s, ok := st.get(j); ok && s.kind == core.TStore && !s.addrKnown && s.valKnown {
-				pendingStores = append(pendingStores, j)
-			}
-		}
-	}
-	if len(pendingStores) == 0 {
-		if a.execLoad(st, i) {
-			return []*symState{st}, true
-		}
-		return nil, false
-	}
-	var forks []*symState
-	now := st.clone()
-	now.pending[i] = true
-	if a.execLoad(now, i) {
-		forks = append(forks, now)
-	}
-	for _, j := range pendingStores {
-		arm := st.clone()
-		if a.execStoreAddr(arm, j) {
-			forks = append(forks, arm)
-		}
-	}
-	return forks, len(forks) > 0
-}
-
-func (a *symbolicAnalyzer) execOp(st *symState, i int) bool {
-	t, _ := st.get(i)
-	args, ok := st.resolveArgs(i, t.args)
+func (s *symMachine) execOp(d core.Directive, t *symTransient) ([]sched.Successor, error) {
+	args, ok := s.resolveArgs(d.I, t.args)
 	if !ok {
-		return false
+		return nil, symStall("operands unresolved at %d", d.I)
 	}
-	st.buf[i-st.base] = &symTransient{kind: core.TValue, dst: t.dst, val: symx.Apply(t.op, args...)}
-	return true
+	s.buf[d.I-s.base] = &symTransient{kind: core.TValue, dst: t.dst, val: symx.Apply(t.op, args...)}
+	return s.self(d)
 }
 
-// execControl resolves a delayed branch or indirect jump; symbolic
-// conditions fork into both feasible worlds.
-func (a *symbolicAnalyzer) execControl(st *symState, i int) (bool, []*symState) {
-	t, _ := st.get(i)
-	if t.kind == core.TJmpi {
-		args, ok := st.resolveArgs(i, t.args)
-		if !ok {
-			return true, nil
-		}
-		tv, ok := addrExpr(args).Concrete()
-		if !ok {
-			return true, nil // symbolic indirect target: out of subset
-		}
-		a.settleControl(st, i, tv.W, addrExpr(args).Label())
-		return false, []*symState{st}
-	}
-	args, ok := st.resolveArgs(i, t.args)
+// execBranch resolves a delayed conditional branch. A concrete
+// condition settles like the concrete machine; an input-dependent one
+// forks into each feasible world, extending the path condition and
+// recording the arm in the directive's Arm field so every completed
+// path keeps a distinct (and distinctly rendered) schedule.
+func (s *symMachine) execBranch(d core.Directive, t *symTransient) ([]sched.Successor, error) {
+	args, ok := s.resolveArgs(d.I, t.args)
 	if !ok {
-		return true, nil
+		return nil, symStall("branch condition unresolved")
 	}
 	cond := symx.Apply(t.op, args...)
 	if cv, ok := cond.Concrete(); ok {
@@ -666,81 +526,171 @@ func (a *symbolicAnalyzer) execControl(st *symState, i int) (bool, []*symState) 
 		if cv.W != 0 {
 			actual = t.tTrue
 		}
-		a.settleControl(st, i, actual, cv.L)
-		return false, []*symState{st}
+		return []sched.Successor{{M: s, D: d, Obs: s.settleControl(d.I, actual, cv.L)}}, nil
 	}
-	// Input-dependent branch: fork on the condition's truth.
-	var forks []*symState
-	pcT := st.pcond.With(symx.Constraint{E: cond, Truthy: true})
-	pcF := st.pcond.With(symx.Constraint{E: cond, Truthy: false})
-	if a.solver.Feasible(pcT) {
-		arm := st.clone()
-		arm.pcond = pcT
-		a.settleControl(arm, i, t.tTrue, cond.Label())
-		forks = append(forks, arm)
+	// Plan the feasible worlds before touching any state, then reuse
+	// the receiver for the last arm (cloning only N-1 times).
+	type armPlan struct {
+		taken bool
+		pcond symx.PathCondition
 	}
-	if a.solver.Feasible(pcF) {
-		arm := st.clone()
-		arm.pcond = pcF
-		a.settleControl(arm, i, t.tFalse, cond.Label())
-		forks = append(forks, arm)
+	var plans []armPlan
+	for _, taken := range []bool{true, false} {
+		pc := s.pcond.With(symx.Constraint{E: cond, Truthy: taken})
+		if s.solver.Feasible(pc) {
+			plans = append(plans, armPlan{taken: taken, pcond: pc})
+		}
 	}
-	if len(forks) == 0 {
-		return true, nil
+	if len(plans) == 0 {
+		return nil, symStall("branch condition infeasible in both worlds")
 	}
-	return false, forks
+	succs := make([]sched.Successor, len(plans))
+	for k, p := range plans {
+		arm := s
+		if k < len(plans)-1 {
+			arm = s.Clone().(*symMachine)
+		}
+		arm.pcond = p.pcond
+		actual := t.tFalse
+		ad := d
+		ad.Arm = core.ArmNotTaken
+		if p.taken {
+			actual = t.tTrue
+			ad.Arm = core.ArmTaken
+		}
+		succs[k] = sched.Successor{M: arm, D: ad, Obs: arm.settleControl(d.I, actual, cond.Label())}
+	}
+	return succs, nil
 }
 
-// settleControl installs the resolved jump, rolling back on a wrong
-// guess, and emits the jump observation with the condition's label.
-func (a *symbolicAnalyzer) settleControl(st *symState, i int, actual isa.Addr, l mem.Label) {
-	t, _ := st.get(i)
-	pp := t.pp
-	if actual == t.guess {
-		st.buf[i-st.base] = &symTransient{kind: core.TJump, target: actual}
-		st.observe(pp, core.JumpObs(actual, l))
-		return
-	}
-	st.truncateFrom(i)
-	st.append(&symTransient{kind: core.TJump, target: actual})
-	st.pc = actual
-	st.observe(pp, core.RollbackObs(), core.JumpObs(actual, l))
-}
-
-func (a *symbolicAnalyzer) execStoreValue(st *symState, i int) bool {
-	t, _ := st.get(i)
-	v, ok := st.resolveOperand(i, t.src)
+func (s *symMachine) execJmpi(d core.Directive, t *symTransient) ([]sched.Successor, error) {
+	args, ok := s.resolveArgs(d.I, t.args)
 	if !ok {
-		return false
-	}
-	t.valKnown = true
-	t.sval = v
-	return true
-}
-
-func (a *symbolicAnalyzer) execStoreAddr(st *symState, i int) bool {
-	t, _ := st.get(i)
-	args, ok := st.resolveArgs(i, t.args)
-	if !ok {
-		return false
+		return nil, symStall("jump target operands unresolved")
 	}
 	ae := addrExpr(args)
-	aw, ok := a.concretizeStore(st, i, ae)
+	tv, ok := ae.Concrete()
 	if !ok {
-		return false
+		return nil, symStall("symbolic indirect target: outside the modeled subset")
+	}
+	return []sched.Successor{{M: s, D: d, Obs: s.settleControl(d.I, tv.W, ae.Label())}}, nil
+}
+
+// settleControl installs the resolved jump at index i, rolling back on
+// a wrong guess, and returns the jump observation with the deciding
+// expression's label.
+func (s *symMachine) settleControl(i int, actual isa.Addr, l mem.Label) []core.Observation {
+	t, _ := s.get(i)
+	if actual == t.guess {
+		s.buf[i-s.base] = &symTransient{kind: core.TJump, target: actual}
+		return []core.Observation{core.JumpObs(actual, l)}
+	}
+	s.truncateFrom(i)
+	s.append(&symTransient{kind: core.TJump, target: actual})
+	s.pc = actual
+	return []core.Observation{core.RollbackObs(), core.JumpObs(actual, l)}
+}
+
+func (s *symMachine) execLoad(d core.Directive, t *symTransient) ([]sched.Successor, error) {
+	args, ok := s.resolveArgs(d.I, t.args)
+	if !ok {
+		return nil, symStall("load address operands unresolved")
+	}
+	ae := addrExpr(args)
+	aw, ok := s.concr.Concretize(ae, s.pcond, s.mem)
+	if !ok {
+		return nil, symStall("load address concretization failed")
+	}
+	// Most recent prior store with a resolved matching address decides
+	// forwarding; its data must be resolved before any state mutates.
+	fwdFrom := core.NoDep
+	var fwdVal symx.Expr
+	for j := d.I - 1; j >= s.base; j-- {
+		st, _ := s.get(j)
+		if st == nil || st.kind != core.TStore || !st.addrKnown || st.saddr != aw {
+			continue
+		}
+		if !st.valKnown {
+			return nil, symStall("matching store at %d has unresolved data", j)
+		}
+		fwdFrom, fwdVal = j, st.sval
+		break
 	}
 	if _, concrete := ae.Concrete(); !concrete {
-		st.pcond = st.pcond.With(symx.Constraint{E: symx.Apply(isa.OpEq, ae, symx.CW(aw)), Truthy: true})
+		s.pcond = s.pcond.With(symx.Constraint{E: symx.Apply(isa.OpEq, ae, symx.CW(aw)), Truthy: true})
 	}
 	l := ae.Label()
-	// Hazard scan over later resolved loads (store-execute-addr-*).
+	if fwdFrom != core.NoDep {
+		// load-execute-forward
+		s.buf[d.I-s.base] = &symTransient{
+			kind: core.TValue, dst: t.dst, val: fwdVal,
+			fromLoad: true, dep: fwdFrom, dataAddr: aw, pp: t.pp,
+		}
+		return s.self(d, core.FwdObs(aw, l))
+	}
+	// load-execute-nodep
+	s.buf[d.I-s.base] = &symTransient{
+		kind: core.TValue, dst: t.dst, val: s.mem.Read(aw),
+		fromLoad: true, dep: core.NoDep, dataAddr: aw, pp: t.pp,
+	}
+	return s.self(d, core.ReadObs(aw, l))
+}
+
+func (s *symMachine) stepExecValue(d core.Directive) ([]sched.Successor, error) {
+	t, ok := s.get(d.I)
+	if !ok || t.kind != core.TStore {
+		return nil, symStall("execute:value needs a store at %d", d.I)
+	}
+	if s.FenceBefore(d.I) {
+		return nil, symStall("fence pending before index %d", d.I)
+	}
+	if t.valKnown {
+		return nil, symStall("store value already resolved")
+	}
+	v, ok := s.resolveOperand(d.I, t.src)
+	if !ok {
+		return nil, symStall("store data operand unresolved")
+	}
+	// store-execute-value
+	t.valKnown = true
+	t.sval = v
+	return s.self(d)
+}
+
+func (s *symMachine) stepExecAddr(d core.Directive) ([]sched.Successor, error) {
+	t, ok := s.get(d.I)
+	if !ok || t.kind != core.TStore {
+		return nil, symStall("execute:addr needs a store at %d", d.I)
+	}
+	if s.FenceBefore(d.I) {
+		return nil, symStall("fence pending before index %d", d.I)
+	}
+	if t.addrKnown {
+		return nil, symStall("store address already resolved")
+	}
+	args, ok := s.resolveArgs(d.I, t.args)
+	if !ok {
+		return nil, symStall("store address operands unresolved")
+	}
+	ae := addrExpr(args)
+	aw, ok := s.concretizeStore(d.I, ae)
+	if !ok {
+		return nil, symStall("store address concretization failed")
+	}
+	if _, concrete := ae.Concrete(); !concrete {
+		s.pcond = s.pcond.With(symx.Constraint{E: symx.Apply(isa.OpEq, ae, symx.CW(aw)), Truthy: true})
+	}
+	l := ae.Label()
+	// Forwarding-correctness check over all later resolved loads
+	// (store-execute-addr-*): a hazard is the earliest k > i with
+	// (ak = a ∧ jk < i) ∨ (jk = i ∧ ak ≠ a).
 	hazardAt, restart := 0, isa.Addr(0)
-	for k := i + 1; k <= st.max(); k++ {
-		lv, _ := st.get(k)
+	for k := d.I + 1; k <= s.BufMax(); k++ {
+		lv, _ := s.get(k)
 		if lv == nil || lv.kind != core.TValue || !lv.fromLoad {
 			continue
 		}
-		if (lv.dataAddr == aw && lv.dep < i) || (lv.dep == i && lv.dataAddr != aw) {
+		if (lv.dataAddr == aw && lv.dep < d.I) || (lv.dep == d.I && lv.dataAddr != aw) {
 			hazardAt, restart = k, lv.pp
 			break
 		}
@@ -749,101 +699,64 @@ func (a *symbolicAnalyzer) execStoreAddr(st *symState, i int) bool {
 	t.saddr = aw
 	t.saddrL = l
 	if hazardAt == 0 {
-		st.observe(t.pp, core.FwdObs(aw, l))
-		return true
+		// store-execute-addr-ok
+		return s.self(d, core.FwdObs(aw, l))
 	}
-	st.truncateFrom(hazardAt)
-	st.pc = restart
-	st.observe(t.pp, core.RollbackObs(), core.FwdObs(aw, l))
-	return true
+	// store-execute-addr-hazard: restart at the stale load's program
+	// point, discarding it and everything younger.
+	s.truncateFrom(hazardAt)
+	s.pc = restart
+	return s.self(d, core.RollbackObs(), core.FwdObs(aw, l))
 }
 
-func (a *symbolicAnalyzer) execLoad(st *symState, i int) bool {
-	t, _ := st.get(i)
-	args, ok := st.resolveArgs(i, t.args)
+func (s *symMachine) stepRetire(d core.Directive) ([]sched.Successor, error) {
+	i := s.BufMin()
+	t, ok := s.get(i)
 	if !ok {
-		return false
-	}
-	ae := addrExpr(args)
-	aw, ok := a.concr.Concretize(ae, st.pcond, st.mem)
-	if !ok {
-		return false
-	}
-	if _, concrete := ae.Concrete(); !concrete {
-		st.pcond = st.pcond.With(symx.Constraint{E: symx.Apply(isa.OpEq, ae, symx.CW(aw)), Truthy: true})
-	}
-	l := ae.Label()
-	// Most recent prior store with a resolved matching address.
-	for j := i - 1; j >= st.min(); j-- {
-		s, _ := st.get(j)
-		if s == nil || s.kind != core.TStore || !s.addrKnown || s.saddr != aw {
-			continue
-		}
-		if !s.valKnown {
-			return false // stall until the store's data resolves
-		}
-		st.buf[i-st.base] = &symTransient{
-			kind: core.TValue, dst: t.dst, val: s.sval,
-			fromLoad: true, dep: j, dataAddr: aw, pp: t.pp,
-		}
-		st.observe(t.pp, core.FwdObs(aw, l))
-		return true
-	}
-	st.buf[i-st.base] = &symTransient{
-		kind: core.TValue, dst: t.dst, val: st.mem.Read(aw),
-		fromLoad: true, dep: core.NoDep, dataAddr: aw, pp: t.pp,
-	}
-	st.observe(t.pp, core.ReadObs(aw, l))
-	return true
-}
-
-func (a *symbolicAnalyzer) retire(st *symState) bool {
-	i := st.min()
-	t, ok := st.get(i)
-	if !ok {
-		return false
+		return nil, symStall("empty reorder buffer")
 	}
 	switch t.kind {
 	case core.TValue:
-		st.regs[t.dst] = t.val
-		st.popMinN(1)
-		st.retired++
-		return true
+		s.regs[t.dst] = t.val
+		s.popMinN(1)
+		s.retired++
+		return s.self(d)
 	case core.TJump, core.TFence:
-		st.popMinN(1)
-		st.retired++
-		return true
+		s.popMinN(1)
+		s.retired++
+		return s.self(d)
 	case core.TStore:
-		st.mem.Write(t.saddr, t.sval)
-		st.observe(t.pp, core.WriteObs(t.saddr, t.saddrL))
-		st.popMinN(1)
-		st.retired++
-		return true
+		if !t.valKnown || !t.addrKnown {
+			return nil, symStall("store not fully resolved")
+		}
+		s.mem.Write(t.saddr, t.sval)
+		s.popMinN(1)
+		s.retired++
+		return s.self(d, core.WriteObs(t.saddr, t.saddrL))
 	case core.TCall:
-		rsp, ok1 := st.get(i + 1)
-		sr, ok2 := st.get(i + 2)
-		if !ok1 || !ok2 || rsp.kind != core.TValue || sr.kind != core.TStore || !sr.resolved() {
-			return false
+		rsp, ok1 := s.get(i + 1)
+		st, ok2 := s.get(i + 2)
+		if !ok1 || !ok2 || rsp.kind != core.TValue || st.kind != core.TStore || !st.resolved() {
+			return nil, symStall("call expansion not fully resolved")
 		}
-		st.regs[mem.RSP] = rsp.val
-		st.mem.Write(sr.saddr, sr.sval)
-		st.observe(t.pp, core.WriteObs(sr.saddr, sr.saddrL))
-		st.popMinN(3)
-		st.retired++
-		return true
+		s.regs[mem.RSP] = rsp.val
+		s.mem.Write(st.saddr, st.sval)
+		s.popMinN(3)
+		s.retired++
+		return s.self(d, core.WriteObs(st.saddr, st.saddrL))
 	case core.TRet:
-		tmp, ok1 := st.get(i + 1)
-		rsp, ok2 := st.get(i + 2)
-		jmp, ok3 := st.get(i + 3)
+		tmp, ok1 := s.get(i + 1)
+		rsp, ok2 := s.get(i + 2)
+		jmp, ok3 := s.get(i + 3)
 		if !ok1 || !ok2 || !ok3 || tmp.kind != core.TValue || rsp.kind != core.TValue || jmp.kind != core.TJump {
-			return false
+			return nil, symStall("ret expansion not fully resolved")
 		}
-		st.regs[mem.RSP] = rsp.val
-		st.popMinN(4)
-		st.retired++
-		return true
+		s.regs[mem.RSP] = rsp.val
+		s.popMinN(4)
+		s.retired++
+		return s.self(d)
 	}
-	return false
+	return nil, symStall("index %d has no retire rule", i)
 }
 
 // concretizeStore pins a store's symbolic address. The leak-hunting
@@ -852,17 +765,17 @@ func (a *symbolicAnalyzer) retire(st *symState) bool {
 // concretizer first tries the addresses of younger loads in the
 // buffer, then secret cells, then any model — mirroring how angr's
 // pluggable concretization strategies are used for targeted hunting.
-func (a *symbolicAnalyzer) concretizeStore(st *symState, i int, ae symx.Expr) (mem.Word, bool) {
+func (s *symMachine) concretizeStore(i int, ae symx.Expr) (mem.Word, bool) {
 	if v, ok := ae.Concrete(); ok {
 		return v.W, true
 	}
 	seen := make(map[mem.Word]bool)
-	for k := i + 1; k <= st.max(); k++ {
-		ld, _ := st.get(k)
+	for k := i + 1; k <= s.BufMax(); k++ {
+		ld, _ := s.get(k)
 		if ld == nil || ld.kind != core.TLoad {
 			continue
 		}
-		largs, ok := st.resolveArgs(k, ld.args)
+		largs, ok := s.resolveArgs(k, ld.args)
 		if !ok {
 			continue
 		}
@@ -871,20 +784,145 @@ func (a *symbolicAnalyzer) concretizeStore(st *symState, i int, ae symx.Expr) (m
 			continue
 		}
 		seen[lv.W] = true
-		if _, ok := a.solver.SolveWith(st.pcond, ae, lv.W); ok {
+		if _, ok := s.solver.SolveWith(s.pcond, ae, lv.W); ok {
 			return lv.W, true
 		}
 	}
-	return a.concr.Concretize(ae, st.pcond, st.mem)
+	return s.concr.Concretize(ae, s.pcond, s.mem)
 }
 
-// oldestPendingBranchSym mirrors the concrete explorer's rule: only
-// the oldest unresolved branch is delayed.
-func oldestPendingBranchSym(st *symState) int {
-	for j := st.min(); j <= st.max(); j++ {
-		if t, ok := st.get(j); ok && t.kind == core.TBr {
-			return j
+// ---------------------------------------------------------------------
+// Fingerprinting (sched.Machine.Fingerprint) — enables the engine's
+// dedup table for symbolic states. The path condition is part of the
+// configuration: equal machine state under different constraints has
+// different feasible futures.
+// ---------------------------------------------------------------------
+
+// Fingerprint hashes the symbolic configuration to 64 bits; equal
+// configurations hash equal.
+func (s *symMachine) Fingerprint() uint64 {
+	h := mem.HashSeed
+	mix := func(w uint64) { h = mem.Mix64(h ^ w) }
+	mix(uint64(s.pc))
+	mix(uint64(s.retired))
+	mix(uint64(s.base))
+	// Registers and memory: order-independent sums over the cells.
+	var sum uint64
+	for r, e := range s.regs {
+		sum += mem.Mix64(mem.Mix64(mem.HashSeed^uint64(r)) ^ exprHash(e))
+	}
+	mix(sum)
+	mix(s.mem.HashSum(exprHash))
+	for _, t := range s.buf {
+		mix(t.hash())
+	}
+	mix(s.rsb.Hash())
+	mix(s.pcond.Fingerprint())
+	return h
+}
+
+// exprHash is the structural expression hash shared with the solver's
+// query seeding.
+func exprHash(e symx.Expr) uint64 { return symx.Fingerprint(e) }
+
+// hash folds every semantically meaningful transient field, with nil
+// expressions hashing to a fixed sentinel.
+func (t *symTransient) hash() uint64 {
+	h := mem.HashSeed
+	mix := func(w uint64) { h = mem.Mix64(h ^ w) }
+	he := func(e symx.Expr) {
+		if e == nil {
+			mix(5)
+			return
+		}
+		mix(exprHash(e))
+	}
+	mix(uint64(t.kind))
+	mix(uint64(t.dst))
+	mix(uint64(t.op))
+	mix(uint64(len(t.args)))
+	for _, a := range t.args {
+		if a.IsReg {
+			mix(1)
+		} else {
+			mix(2)
+		}
+		mix(uint64(a.Reg))
+		mix(a.Imm.W)
+		mix(uint64(a.Imm.L))
+	}
+	he(t.val)
+	if t.fromLoad {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	mix(uint64(t.dep))
+	mix(t.dataAddr)
+	mix(uint64(t.pp))
+	mix(uint64(t.guess))
+	mix(uint64(t.tTrue))
+	mix(uint64(t.tFalse))
+	mix(uint64(t.target))
+	if t.src.IsReg {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	mix(uint64(t.src.Reg))
+	mix(t.src.Imm.W)
+	if t.valKnown {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	he(t.sval)
+	if t.addrKnown {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	mix(t.saddr)
+	mix(uint64(t.saddrL))
+	return h
+}
+
+// ---------------------------------------------------------------------
+// Entry point.
+// ---------------------------------------------------------------------
+
+// AnalyzeSymbolic runs the symbolic-mode detector on the unified
+// engine: the same worst-case schedule strategy, worker pool, dedup
+// table, and budgets as concrete mode, over the symbolic domain.
+func AnalyzeSymbolic(m *SymMachine, opts Options) (Report, error) {
+	sopts := sched.Options{
+		Bound:          opts.Bound,
+		ForwardHazards: opts.ForwardHazards,
+		MaxStates:      opts.MaxStates,
+		MaxRetired:     opts.MaxRetired,
+		StopAtFirst:    opts.StopAtFirst,
+		Workers:        opts.Workers,
+		DedupEntries:   opts.DedupEntries,
+		KeepSchedules:  true,
+		Interrupt:      opts.Interrupt,
+	}
+	if opts.OnViolation != nil {
+		sopts.OnViolation = func(v sched.Violation) bool {
+			return opts.OnViolation(violationOf(v))
 		}
 	}
-	return 0
+	e, err := sched.NewExplorer(sopts)
+	if err != nil {
+		return Report{}, fmt.Errorf("pitchfork: %w", err)
+	}
+	res := e.ExploreMachine(newSymMachine(m, opts.SolverSeed))
+	rep := Report{
+		States: res.States, Paths: res.Paths,
+		Truncated: res.Truncated, Interrupted: res.Interrupted,
+		Mode: "symbolic", Workers: res.Workers, DedupHits: res.DedupHits,
+	}
+	for _, v := range res.Violations {
+		rep.Violations = append(rep.Violations, violationOf(v))
+	}
+	return rep, nil
 }

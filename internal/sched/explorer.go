@@ -1,6 +1,6 @@
 // Package sched implements Pitchfork's worst-case schedule generation
 // (§4.1 of the paper, formalized as the tool schedules DT(n) of
-// Def. B.18) as a depth-first exploration over the speculative machine.
+// Def. B.18) as a depth-first exploration over a speculative machine.
 //
 // The strategy, per the paper:
 //
@@ -24,10 +24,16 @@
 // schedule implies one under a schedule in this set, so exploring only
 // these schedules suffices to detect SCT violations up to the bound.
 //
+// The engine is parameterized over a value domain (see domain.go): the
+// same strategy drives the concrete reference machine of internal/core
+// and the symbolic machine of internal/pitchfork. Domains may fork on
+// a single directive (a symbolic branch condition splits into its
+// feasible worlds); the engine treats every fork point uniformly.
+//
 // The exploration runs on one goroutine by default; Options.Workers
 // switches to a work-stealing pool (see parallel.go), and
 // Options.DedupEntries enables fingerprint-based pruning of
-// re-converged states.
+// re-converged states — in either domain.
 package sched
 
 import (
@@ -35,7 +41,6 @@ import (
 
 	"pitchfork/internal/core"
 	"pitchfork/internal/isa"
-	"pitchfork/internal/mem"
 )
 
 // Options configure an exploration.
@@ -111,6 +116,9 @@ type Violation struct {
 	// ahead of. Fence-repair synthesis uses them to place fences at
 	// the speculation source rather than at the leak.
 	Sources []Source
+	// Model is a witness assignment of the domain's symbolic inputs
+	// reaching the leak (nil in the concrete domain).
+	Model map[string]uint64
 }
 
 // SourceKind discriminates the speculation primitives a leak can hide
@@ -154,7 +162,7 @@ func (s Source) String() string { return fmt.Sprintf("%s@%d", s.Kind, s.PC) }
 
 // specSources collects the unresolved speculation primitives of the
 // machine's reorder buffer, oldest first, deduplicated by (kind, pc).
-func specSources(m *core.Machine) []Source {
+func specSources(m Machine) []Source {
 	var out []Source
 	seen := make(map[Source]bool)
 	add := func(s Source) {
@@ -163,8 +171,11 @@ func specSources(m *core.Machine) []Source {
 			out = append(out, s)
 		}
 	}
-	for _, i := range m.Buf.Indices() {
-		t, _ := m.Buf.Get(i)
+	for i := m.BufMin(); i <= m.BufMax(); i++ {
+		t, ok := m.View(i)
+		if !ok {
+			continue
+		}
 		switch t.Kind {
 		case core.TBr:
 			add(Source{Kind: SrcBranch, PC: t.PP})
@@ -273,16 +284,16 @@ func NewExplorer(opts Options) (*Explorer, error) {
 
 // state is one node of the exploration tree.
 type state struct {
-	m     *core.Machine
+	m     Machine
 	sched core.Schedule
 	trace core.Trace
 	// tracePP records, per trace entry, the program point of the
 	// instruction that produced the observation — so violations point
 	// at the leaking instruction, not the fetch head at detection time.
 	tracePP []isa.Addr
-	// loadChoicesDone marks load indices whose forwarding fork has
-	// already been taken in this state (so re-deciding after a partial
-	// store resolution re-forks correctly but not infinitely).
+	// pendingFwd marks load indices whose forwarding fork has already
+	// been taken in this state (so re-deciding after a partial store
+	// resolution re-forks correctly but not infinitely).
 	pendingFwd map[int]bool
 }
 
@@ -300,9 +311,15 @@ func (s *state) clone() *state {
 	return c
 }
 
-// Explore runs the worst-case schedules from the machine's current
-// configuration. The machine itself is not mutated.
+// Explore runs the worst-case schedules from the concrete machine's
+// current configuration. The machine itself is not mutated.
 func (e *Explorer) Explore(m *core.Machine) Result {
+	return e.ExploreMachine(Concrete(m))
+}
+
+// ExploreMachine runs the worst-case schedules of any domain machine.
+// The machine is cloned up front, so the caller's copy is not mutated.
+func (e *Explorer) ExploreMachine(m Machine) Result {
 	var dedup *dedupTable
 	if e.opts.DedupEntries > 0 {
 		dedup = newDedupTable(e.opts.DedupEntries)
@@ -376,13 +393,15 @@ func advance(opts *Options, dedup *dedupTable, st *state) (done, deduped bool, v
 			Kind:    classify(m, st.trace, i),
 			PC:      st.tracePP[i],
 			Sources: specSources(m),
+			Model:   m.Witness(),
 		}
 		if opts.KeepSchedules {
 			v.Schedule = append(core.Schedule(nil), st.sched...)
 		}
 		return true, false, &v, nil
 	}
-	if m.Halted() || m.Retired >= opts.MaxRetired {
+	in, fetchable := m.Instr()
+	if (m.BufLen() == 0 && !fetchable) || m.RetiredCount() >= opts.MaxRetired {
 		return true, false, nil, nil
 	}
 	// Dedup check after the leak and termination checks: a pruned
@@ -394,48 +413,48 @@ func advance(opts *Options, dedup *dedupTable, st *state) (done, deduped bool, v
 	}
 
 	// Fetch phase: eager until the bound.
-	if m.Buf.Len() < opts.Bound {
-		if in, ok := m.Prog.At(m.PC); ok {
-			switch in.Kind {
-			case isa.KBr:
-				// Fork both guesses; both arms delay branch execution.
-				a, b := st, st.clone()
-				if step(a, core.FetchGuess(true)) && step(b, core.FetchGuess(false)) {
-					return false, false, nil, []*state{a, b}
-				}
-				return true, false, nil, nil
-			case isa.KJmpi:
-				// The tool follows the architecturally correct target
-				// (it does not model indirect-jump speculation, §4).
-				if target, ok := peekJmpi(m, in); ok {
-					if step(st, core.FetchTarget(target)) {
-						return false, false, nil, []*state{st}
-					}
-					return true, false, nil, nil
-				}
-				// Target operands pending: fall through to execution.
-			case isa.KRet:
-				if _, ok := m.RSB.Top(); !ok {
-					// The tool does not model RSB underflow attacks;
-					// predict through the in-memory return address.
-					if target, ok := peekRet(m); ok {
-						if step(st, core.FetchTarget(target)) {
-							return false, false, nil, []*state{st}
-						}
-						return true, false, nil, nil
-					}
-					break // execute pending work first
-				}
-				if step(st, core.Fetch()) {
-					return false, false, nil, []*state{st}
-				}
-				return true, false, nil, nil
-			default:
-				if step(st, core.Fetch()) {
-					return false, false, nil, []*state{st}
+	if m.BufLen() < opts.Bound && fetchable {
+		switch in.Kind {
+		case isa.KBr:
+			// Fork both guesses; both arms delay branch execution.
+			a, b := st, st.clone()
+			fa := apply(a, core.FetchGuess(true))
+			fb := apply(b, core.FetchGuess(false))
+			if fa != nil && fb != nil {
+				return false, false, nil, append(fa, fb...)
+			}
+			return true, false, nil, nil
+		case isa.KJmpi:
+			// The tool follows the architecturally correct target
+			// (it does not model indirect-jump speculation, §4).
+			if target, ok := m.PeekJmpi(in); ok {
+				if forks := apply(st, core.FetchTarget(target)); forks != nil {
+					return false, false, nil, forks
 				}
 				return true, false, nil, nil
 			}
+			// Target operands pending: fall through to execution.
+		case isa.KRet:
+			if _, ok := m.RSBTop(); !ok {
+				// The tool does not model RSB underflow attacks;
+				// predict through the in-memory return address.
+				if target, ok := m.PeekRet(); ok {
+					if forks := apply(st, core.FetchTarget(target)); forks != nil {
+						return false, false, nil, forks
+					}
+					return true, false, nil, nil
+				}
+				break // execute pending work first
+			}
+			if forks := apply(st, core.Fetch()); forks != nil {
+				return false, false, nil, forks
+			}
+			return true, false, nil, nil
+		default:
+			if forks := apply(st, core.Fetch()); forks != nil {
+				return false, false, nil, forks
+			}
+			return true, false, nil, nil
 		}
 	}
 
@@ -446,34 +465,34 @@ func advance(opts *Options, dedup *dedupTable, st *state) (done, deduped bool, v
 
 	// Nothing else is actionable: retire if possible, otherwise force
 	// the delayed control flow / store addresses, oldest first.
-	i := m.Buf.Min()
-	t, ok := m.Buf.Get(i)
+	i := m.BufMin()
+	t, ok := m.View(i)
 	if !ok {
 		// Empty buffer and nothing fetchable at bound>0: halt was
 		// handled above, so this is a wedged path (e.g. jmpi whose
 		// operands can never resolve).
 		return true, false, nil, nil
 	}
-	if t.Resolved() {
-		if step(st, core.Retire()) {
-			return false, false, nil, []*state{st}
+	if t.Resolved {
+		if forks := apply(st, core.Retire()); forks != nil {
+			return false, false, nil, forks
 		}
 		// A call/ret marker retires only with its whole expansion
 		// resolved: force the first unresolved member.
-		for j := i + 1; j <= m.Buf.Max(); j++ {
-			u, ok := m.Buf.Get(j)
-			if !ok || u.Resolved() {
+		for j := i + 1; j <= m.BufMax(); j++ {
+			u, ok := m.View(j)
+			if !ok || u.Resolved {
 				continue
 			}
-			if forceOne(st, j, u) {
-				return false, false, nil, []*state{st}
+			if forks := forceOne(st, j, u); forks != nil {
+				return false, false, nil, forks
 			}
 			break
 		}
 		return true, false, nil, nil
 	}
-	if forceOne(st, i, t) {
-		return false, false, nil, []*state{st}
+	if forks := forceOne(st, i, t); forks != nil {
+		return false, false, nil, forks
 	}
 	return true, false, nil, nil
 }
@@ -482,17 +501,17 @@ func advance(opts *Options, dedup *dedupTable, st *state) (done, deduped bool, v
 // instruction regardless of the deferral rules — used when nothing can
 // proceed otherwise (delayed branches at the head, deferred store
 // addresses blocking retirement, call/ret expansion members).
-func forceOne(st *state, i int, t *core.Transient) bool {
+func forceOne(st *state, i int, t TransientView) []*state {
 	switch t.Kind {
 	case core.TBr, core.TJmpi, core.TLoad, core.TOp:
-		return step(st, core.Execute(i))
+		return apply(st, core.Execute(i))
 	case core.TStore:
 		if !t.ValKnown {
-			return step(st, core.ExecuteValue(i))
+			return apply(st, core.ExecuteValue(i))
 		}
-		return step(st, core.ExecuteAddr(i))
+		return apply(st, core.ExecuteAddr(i))
 	}
-	return false
+	return nil
 }
 
 // executePhase scans the buffer in ascending order for the first
@@ -501,15 +520,18 @@ func forceOne(st *state, i int, t *core.Transient) bool {
 // forwarding-hazard mode). Loads fork over forwarding outcomes.
 func executePhase(opts *Options, st *state) ([]*state, bool) {
 	m := st.m
-	for _, i := range m.Buf.Indices() {
-		t, _ := m.Buf.Get(i)
-		if m.Buf.FenceBefore(i) {
+	for i := m.BufMin(); i <= m.BufMax(); i++ {
+		t, ok := m.View(i)
+		if !ok {
+			continue
+		}
+		if m.FenceBefore(i) {
 			break // nothing beyond a pending fence may execute
 		}
 		switch t.Kind {
 		case core.TOp:
-			if step(st, core.Execute(i)) {
-				return []*state{st}, true
+			if forks := apply(st, core.Execute(i)); forks != nil {
+				return forks, true
 			}
 		case core.TJmpi:
 			// Indirect jumps execute as soon as their target operands
@@ -518,21 +540,21 @@ func executePhase(opts *Options, st *state) ([]*state, bool) {
 			// the speculative stale-return window of the Fig. 10 gadget
 			// — the transient return must happen *before* the pending
 			// store address resolves and flags the hazard.
-			if step(st, core.Execute(i)) {
-				return []*state{st}, true
+			if forks := apply(st, core.Execute(i)); forks != nil {
+				return forks, true
 			}
 		case core.TBr:
 			continue // branches resolve in the second pass below
 		case core.TStore:
 			if !t.ValKnown {
-				if step(st, core.ExecuteValue(i)) {
-					return []*state{st}, true
+				if forks := apply(st, core.ExecuteValue(i)); forks != nil {
+					return forks, true
 				}
 				continue
 			}
 			if !t.AddrKnown && !opts.ForwardHazards {
-				if step(st, core.ExecuteAddr(i)) {
-					return []*state{st}, true
+				if forks := apply(st, core.ExecuteAddr(i)); forks != nil {
+					return forks, true
 				}
 			}
 			continue
@@ -549,13 +571,13 @@ func executePhase(opts *Options, st *state) ([]*state, bool) {
 	// window), while branches nested inside that window resolve
 	// eagerly so their own observations and rollbacks land within it.
 	oldest := oldestPendingBranch(m)
-	for i := m.Buf.Max(); i > oldest && oldest != 0; i-- {
-		t, ok := m.Buf.Get(i)
-		if !ok || t.Kind != core.TBr || m.Buf.FenceBefore(i) {
+	for i := m.BufMax(); i > oldest && oldest != 0; i-- {
+		t, ok := m.View(i)
+		if !ok || t.Kind != core.TBr || m.FenceBefore(i) {
 			continue
 		}
-		if step(st, core.Execute(i)) {
-			return []*state{st}, true
+		if forks := apply(st, core.Execute(i)); forks != nil {
+			return forks, true
 		}
 	}
 	return nil, false
@@ -571,15 +593,15 @@ func loadFork(opts *Options, st *state, i int) ([]*state, bool) {
 	m := st.m
 	var pending []int
 	if opts.ForwardHazards && !st.pendingFwd[i] {
-		for j := m.Buf.Min(); j < i; j++ {
-			if s, ok := m.Buf.Get(j); ok && s.Kind == core.TStore && !s.AddrKnown && s.ValKnown {
+		for j := m.BufMin(); j < i; j++ {
+			if s, ok := m.View(j); ok && s.Kind == core.TStore && !s.AddrKnown && s.ValKnown {
 				pending = append(pending, j)
 			}
 		}
 	}
 	if len(pending) == 0 {
-		if step(st, core.Execute(i)) {
-			return []*state{st}, true
+		if forks := apply(st, core.Execute(i)); forks != nil {
+			return forks, true
 		}
 		return nil, false
 	}
@@ -587,41 +609,63 @@ func loadFork(opts *Options, st *state, i int) ([]*state, bool) {
 	// Arm 0: execute the load now, skipping the pending stores.
 	now := st.clone()
 	now.pendingFwd[i] = true
-	if step(now, core.Execute(i)) {
-		forks = append(forks, now)
+	if f := apply(now, core.Execute(i)); f != nil {
+		forks = append(forks, f...)
 	}
 	// One arm per pending store: resolve its address first. The load
 	// re-decides on the next visit (and may fork again over the
 	// remaining pending stores).
 	for _, j := range pending {
 		arm := st.clone()
-		if step(arm, core.ExecuteAddr(j)) {
-			forks = append(forks, arm)
+		if f := apply(arm, core.ExecuteAddr(j)); f != nil {
+			forks = append(forks, f...)
 		}
 	}
 	return forks, len(forks) > 0
 }
 
-// step applies d to the state, appending schedule, trace, and source
-// program points; it reports whether the directive applied. Stalls end
-// the path quietly; faults are treated the same (the path cannot
-// continue). A rollback invalidates the load-fork bookkeeping, since
-// buffer indices are reused by re-fetched instructions.
-func step(st *state, d core.Directive) bool {
+// apply runs d on the state's machine, threading schedule, trace, and
+// source program points through to each successor; nil means the
+// directive stalled (the path cannot continue this way). Deterministic
+// steps mutate st in place and return it; at a domain fork each
+// successor gets an independent copy of the bookkeeping, with the
+// arm-disambiguated directive recorded. A rollback invalidates the
+// load-fork bookkeeping, since buffer indices are reused by re-fetched
+// instructions.
+func apply(st *state, d core.Directive) []*state {
 	pp := sourcePoint(st.m, d)
-	obs, err := st.m.Step(d)
-	if err != nil {
-		return false
+	succs, err := st.m.Step(d)
+	if err != nil || len(succs) == 0 {
+		return nil
 	}
-	st.sched = append(st.sched, d)
-	for _, o := range obs {
-		st.trace = append(st.trace, o)
-		st.tracePP = append(st.tracePP, pp)
-		if o.Kind == core.ORollback {
-			st.pendingFwd = make(map[int]bool)
+	out := make([]*state, len(succs))
+	for k, sc := range succs {
+		ns := st
+		if len(succs) > 1 {
+			ns = &state{
+				m:          sc.M,
+				sched:      append(core.Schedule(nil), st.sched...),
+				trace:      append(core.Trace(nil), st.trace...),
+				tracePP:    append([]isa.Addr(nil), st.tracePP...),
+				pendingFwd: make(map[int]bool, len(st.pendingFwd)),
+			}
+			for idx, v := range st.pendingFwd {
+				ns.pendingFwd[idx] = v
+			}
+		} else {
+			ns.m = sc.M
 		}
+		ns.sched = append(ns.sched, sc.D)
+		for _, o := range sc.Obs {
+			ns.trace = append(ns.trace, o)
+			ns.tracePP = append(ns.tracePP, pp)
+			if o.Kind == core.ORollback {
+				ns.pendingFwd = make(map[int]bool)
+			}
+		}
+		out[k] = ns
 	}
-	return true
+	return out
 }
 
 // sourcePoint resolves, before the directive runs, the program point
@@ -629,51 +673,35 @@ func step(st *state, d core.Directive) bool {
 // produces are attributed to. Execute-family directives name a buffer
 // index; retire acts on the buffer head; fetch directives produce no
 // observations, so the fetch head is an adequate fallback.
-func sourcePoint(m *core.Machine, d core.Directive) isa.Addr {
+func sourcePoint(m Machine, d core.Directive) isa.Addr {
 	switch d.Kind {
 	case core.DExecute, core.DExecValue, core.DExecAddr, core.DExecFwd:
-		if t, ok := m.Buf.Get(d.I); ok {
+		if t, ok := m.View(d.I); ok {
 			return t.PP
 		}
 	case core.DRetire:
-		if t, ok := m.Buf.Get(m.Buf.Min()); ok {
+		if t, ok := m.View(m.BufMin()); ok {
 			return t.PP
 		}
 	}
-	return m.PC
-}
-
-func peekJmpi(m *core.Machine, in isa.Instr) (isa.Addr, bool) {
-	vals, ok := m.Buf.ResolveOperands(m.Buf.Max()+1, m.Regs, in.Args)
-	if !ok {
-		return 0, false
-	}
-	v, err := isa.EvalAddr(m.AddrMode, vals)
-	if err != nil {
-		return 0, false
-	}
-	return v.W, true
-}
-
-func peekRet(m *core.Machine) (isa.Addr, bool) {
-	sp, ok := m.Buf.ResolveOperands(m.Buf.Max()+1, m.Regs, []isa.Operand{isa.R(mem.RSP)})
-	if !ok {
-		return 0, false
-	}
-	v, err := m.Mem.Read(sp[0].W)
-	if err != nil {
-		return 0, false
-	}
-	return v.W, true
+	return m.PC()
 }
 
 // classify heuristically attributes a violation to a Spectre variant
 // from the machine state at detection time.
-func classify(m *core.Machine, trace core.Trace, at int) VariantKind {
+func classify(m Machine, trace core.Trace, at int) VariantKind {
 	brInFlight := false
 	staleWindow := false
-	for _, i := range m.Buf.Indices() {
-		t, _ := m.Buf.Get(i)
+	fwdSecret := false
+	unresolved := false
+	for i := m.BufMin(); i <= m.BufMax(); i++ {
+		t, ok := m.View(i)
+		if !ok {
+			continue
+		}
+		if !t.Resolved {
+			unresolved = true
+		}
 		switch t.Kind {
 		case core.TBr:
 			brInFlight = true
@@ -682,19 +710,15 @@ func classify(m *core.Machine, trace core.Trace, at int) VariantKind {
 				staleWindow = true
 			}
 		}
-	}
-	// Forwarded secret ⇒ v1.1 family if speculating on a branch.
-	fwdSecret := false
-	for k := 0; k <= at; k++ {
-		if trace[k].Kind == core.OFwd && trace[k].Secret() {
+		// A secret load value forwarded from a buffered store marks the
+		// v1.1 family.
+		if t.FwdSecret {
 			fwdSecret = true
 		}
 	}
-	// A secret load value forwarded from a buffered store also marks
-	// v1.1: detect via a buffered resolved load with a store dep.
-	for _, i := range m.Buf.Indices() {
-		t, _ := m.Buf.Get(i)
-		if t.Kind == core.TValue && t.FromLoad && t.Dep != core.NoDep && t.Val.IsSecret() {
+	// Forwarded secret ⇒ v1.1 family if speculating on a branch.
+	for k := 0; k <= at; k++ {
+		if trace[k].Kind == core.OFwd && trace[k].Secret() {
 			fwdSecret = true
 		}
 	}
@@ -705,21 +729,11 @@ func classify(m *core.Machine, trace core.Trace, at int) VariantKind {
 		return VariantV1
 	case staleWindow:
 		return VariantV4
-	case m.Buf.Empty() || allResolved(m):
+	case m.BufLen() == 0 || !unresolved:
 		return VariantSeq
 	default:
 		return VariantUnknown
 	}
-}
-
-func allResolved(m *core.Machine) bool {
-	for _, i := range m.Buf.Indices() {
-		t, _ := m.Buf.Get(i)
-		if !t.Resolved() {
-			return false
-		}
-	}
-	return true
 }
 
 // Explore is the package-level convenience entry point with schedule
@@ -750,9 +764,9 @@ func CountSchedules(m *core.Machine, bound int, forwardHazards bool, maxStates i
 
 // oldestPendingBranch returns the lowest buffer index holding an
 // unresolved conditional branch, or 0 if none.
-func oldestPendingBranch(m *core.Machine) int {
-	for _, j := range m.Buf.Indices() {
-		if t, ok := m.Buf.Get(j); ok && t.Kind == core.TBr {
+func oldestPendingBranch(m Machine) int {
+	for j := m.BufMin(); j <= m.BufMax(); j++ {
+		if t, ok := m.View(j); ok && t.Kind == core.TBr {
 			return j
 		}
 	}

@@ -128,6 +128,8 @@ func compareDirectives(a, b core.Directive) int {
 		return a.I - b.I
 	case a.From != b.From:
 		return a.From - b.From
+	case a.Arm != b.Arm:
+		return int(a.Arm) - int(b.Arm)
 	}
 	return 0
 }

@@ -48,6 +48,17 @@ func (m *Memory) Clone() *Memory {
 	return c
 }
 
+// HashSum folds the memory into an order-independent 64-bit sum using
+// the caller's expression hash — the symbolic configuration
+// fingerprint behind the exploration engine's dedup table.
+func (m *Memory) HashSum(exprHash func(Expr) uint64) uint64 {
+	var sum uint64
+	for a, e := range m.cells {
+		sum += mem.Mix64(mem.Mix64(mem.HashSeed^a) ^ exprHash(e))
+	}
+	return sum
+}
+
 // Addresses returns the mapped addresses in increasing order.
 func (m *Memory) Addresses() []mem.Word {
 	out := make([]mem.Word, 0, len(m.cells))

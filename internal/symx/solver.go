@@ -50,6 +50,23 @@ func (p PathCondition) Holds(env Env) bool {
 	return true
 }
 
+// Fingerprint folds the conjunction to 64 bits, structurally and
+// order-sensitively — one hash serving both the solver's per-query
+// seeding and the symbolic exploration domain's configuration
+// fingerprints, so the two can never drift apart.
+func (p PathCondition) Fingerprint() uint64 {
+	h := mem.HashSeed
+	for _, c := range p {
+		h = mem.Mix64(h ^ Fingerprint(c.E))
+		if c.Truthy {
+			h = mem.Mix64(h ^ 1)
+		} else {
+			h = mem.Mix64(h ^ 2)
+		}
+	}
+	return h
+}
+
 // Vars returns the free variables of the conjunction, sorted.
 func (p PathCondition) Vars() []string {
 	set := make(map[string]bool)
@@ -77,8 +94,15 @@ func sortStrings(s []string) {
 // coordinate descent. Sound for SAT answers (a returned model always
 // satisfies the constraints); UNSAT answers are "unknown" and reported
 // as such.
+//
+// A Solver holds no per-query mutable state: the random-probing phase
+// derives its generator from the solver seed and a fingerprint of the
+// query, so answers are a pure function of (seed, query) — independent
+// of call order. That makes one Solver safe to share across the
+// exploration engine's worker goroutines and keeps parallel symbolic
+// runs bit-identical to serial ones.
 type Solver struct {
-	rng *rand.Rand
+	seed int64
 	// Tries bounds random probes per query.
 	Tries int
 	// Seeds are the per-variable candidate words tried exhaustively
@@ -89,10 +113,44 @@ type Solver struct {
 // NewSolver returns a solver with a deterministic seed.
 func NewSolver(seed int64) *Solver {
 	return &Solver{
-		rng:   rand.New(rand.NewSource(seed)),
+		seed:  seed,
 		Tries: 4096,
 		Seeds: []mem.Word{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 31, 32, 63, 64, 100, 127, 128, 200, 255, 256, 1 << 12, 1 << 16, ^mem.Word(0), ^mem.Word(0) - 1, 1 << 63},
 	}
+}
+
+// rngFor derives the query-local generator for the random-probing
+// phase from the solver seed and a structural fingerprint of the
+// query (a direct tree walk — no string rendering on the hot path).
+func (s *Solver) rngFor(p PathCondition) *rand.Rand {
+	return rand.New(rand.NewSource(s.seed ^ int64(p.Fingerprint())))
+}
+
+// Fingerprint folds an expression tree to 64 bits, structurally and
+// label-inclusive: structurally equal expressions hash equal. The
+// solver's query seeding and the symbolic domain's configuration
+// fingerprints (exploration dedup) both build on it.
+func Fingerprint(e Expr) uint64 {
+	switch x := e.(type) {
+	case Const:
+		h := mem.Mix64(mem.HashSeed ^ 1)
+		h = mem.Mix64(h ^ x.V.W)
+		return mem.Mix64(h ^ uint64(x.V.L))
+	case Var:
+		h := mem.Mix64(mem.HashSeed ^ 2)
+		for i := 0; i < len(x.Name); i++ {
+			h = mem.Mix64(h ^ uint64(x.Name[i]))
+		}
+		return mem.Mix64(h ^ uint64(x.L))
+	case Op:
+		h := mem.Mix64(mem.HashSeed ^ 3)
+		h = mem.Mix64(h ^ uint64(x.Code))
+		for _, a := range x.Args {
+			h = mem.Mix64(h ^ Fingerprint(a))
+		}
+		return h
+	}
+	return mem.Mix64(mem.HashSeed ^ 4)
 }
 
 // Solve searches for a model of p. ok=false means no model was found
@@ -129,16 +187,17 @@ func (s *Solver) Solve(p PathCondition) (Env, bool) {
 			env[v] = 0
 		}
 	}
-	// Random probing.
+	// Random probing, with a query-derived generator (see rngFor).
+	rng := s.rngFor(p)
 	for t := 0; t < s.Tries; t++ {
 		for _, v := range vars {
-			switch s.rng.Intn(3) {
+			switch rng.Intn(3) {
 			case 0:
-				env[v] = s.Seeds[s.rng.Intn(len(s.Seeds))]
+				env[v] = s.Seeds[rng.Intn(len(s.Seeds))]
 			case 1:
-				env[v] = mem.Word(s.rng.Intn(512))
+				env[v] = mem.Word(rng.Intn(512))
 			default:
-				env[v] = mem.Word(s.rng.Uint64())
+				env[v] = mem.Word(rng.Uint64())
 			}
 		}
 		if p.Holds(env) {

@@ -130,14 +130,17 @@ func WithSolverSeed(seed int64) Option {
 // default) runs the classic serial depth-first exploration; n > 1 runs
 // a work-stealing pool over the schedule tree, with findings reported
 // in deterministic schedule order rather than discovery order; 0
-// selects runtime.NumCPU(). Full parallel explorations are fully
-// deterministic; runs cut short early (WithStopAtFirst, cancellation,
-// a stopping Stream callback, or a MaxStates truncation) depend on how
-// far workers got before the stop propagated, so their state/path
-// counts — and, under WithStopAtFirst, which single finding is
-// reported — may vary between runs. The same setting sizes the
-// fan-out of AnalyzeBatch/RunAll. Symbolic-mode exploration is
-// single-threaded regardless, though batch fan-out still applies.
+// selects runtime.NumCPU(). The setting applies to concrete and
+// symbolic mode alike — both run on the same domain-parameterized
+// engine, and symbolic solver queries are self-seeding, so parallel
+// symbolic findings (witness models included) reproduce the serial
+// run's exactly. Full parallel explorations are fully deterministic;
+// runs cut short early (WithStopAtFirst, cancellation, a stopping
+// Stream callback, or a MaxStates truncation) depend on how far
+// workers got before the stop propagated, so their state/path counts
+// — and, under WithStopAtFirst, which single finding is reported —
+// may vary between runs. The same setting sizes the fan-out of
+// AnalyzeBatch/RunAll.
 func WithWorkers(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
@@ -153,14 +156,15 @@ func WithWorkers(n int) Option {
 
 // WithDedup bounds a machine-fingerprint table at maxEntries states;
 // exploration states whose full configuration (PC, registers, memory,
-// reorder buffer, RSB) was already visited are pruned. Many
-// forwarding-fork arms reconverge, so dedup cuts explored states
-// independently of parallelism — at the price of exactness: Paths
-// shrinks, schedules for pruned duplicates are not enumerated, and a
-// 64-bit fingerprint collision could in principle prune a genuinely
-// new state. The violation set is preserved (every pruned state's
-// future is explored from its first-visited twin). 0 (the default)
-// disables deduplication; concrete mode only.
+// reorder buffer, RSB — and, in symbolic mode, the path condition)
+// was already visited are pruned. Many forwarding-fork arms
+// reconverge, so dedup cuts explored states independently of
+// parallelism — at the price of exactness: Paths shrinks, schedules
+// for pruned duplicates are not enumerated, and a 64-bit fingerprint
+// collision could in principle prune a genuinely new state. The
+// distinct-finding set is preserved (every pruned state's future is
+// explored from its first-visited twin). 0 (the default) disables
+// deduplication. Works in both concrete and symbolic mode.
 func WithDedup(maxEntries int) Option {
 	return func(c *config) error {
 		if maxEntries < 0 {

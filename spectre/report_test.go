@@ -48,6 +48,47 @@ func TestReportGoldenJSON(t *testing.T) {
 	}
 }
 
+// TestSymbolicReportGoldenJSON pins the wire schema of a symbolic run
+// on the unified engine: the same Report shape as concrete mode (the
+// schema is backward-compatible), now with Workers and DedupHits
+// populated by the shared engine's fingerprint table, the attacker
+// schedule recorded, and the witness assignment attached. The run is
+// serial: with dedup on, which reconverged twin survives — and hence
+// the schedule prefixes under its subtree — is only deterministic on
+// one goroutine, and a byte-pinned fixture must not race. (Parallel
+// symbolic determinism is asserted semantically in
+// symbolic_engine_test.go and the root determinism suite.)
+// Regenerate deliberately with: go test ./spectre -run Golden -update
+func TestSymbolicReportGoldenJSON(t *testing.T) {
+	p := figure1Symbolic(t)
+	rep, err := mustNew(t,
+		spectre.WithSymbolic(true),
+		spectre.WithDedup(1<<16),
+	).Run(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "report.symbolic.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("symbolic report JSON schema drifted from golden fixture\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
 // TestReportJSONRoundTrip checks the schema decodes back into the
 // same values — the property a service consuming findings relies on.
 func TestReportJSONRoundTrip(t *testing.T) {

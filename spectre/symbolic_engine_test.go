@@ -1,0 +1,139 @@
+package spectre_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"pitchfork/internal/testcases"
+	"pitchfork/spectre"
+)
+
+// figure1Symbolic is the Figure 1 gadget (Kocher case 1) with the
+// attacker index x left unconstrained.
+func figure1Symbolic(t *testing.T) *spectre.Program {
+	t.Helper()
+	p := compileCase(t, testcases.Kocher()[0])
+	if !p.SymbolicGlobal("x", "x") {
+		t.Fatal("no global x to unbind")
+	}
+	return p
+}
+
+// findingKey projects a finding onto the fields that are stable across
+// worker counts and dedup settings (schedule/trace prefixes of a
+// deduplicated subtree depend on which reconverged twin survived).
+func findingKey(f spectre.Finding) string {
+	return fmt.Sprintf("%s|pc=%d|%s|%v|%v", f.Variant, f.PC, f.Observation, f.Sources, f.Witness)
+}
+
+func distinctKeys(rep *spectre.Report) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range rep.Findings {
+		k := findingKey(f)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSymbolicWorkersTakeEffect is the regression test for the
+// silent-option bug: WithWorkers used to be silently ignored under
+// WithSymbolic. A parallel symbolic run must report the worker count
+// and produce exactly the serial run's findings, in schedule order.
+func TestSymbolicWorkersTakeEffect(t *testing.T) {
+	p := figure1Symbolic(t)
+	serial := mustRun(t, mustNew(t, spectre.WithSymbolic(true)), p)
+	if serial.Workers != 1 {
+		t.Fatalf("serial Workers = %d, want 1", serial.Workers)
+	}
+	if serial.SecretFree {
+		t.Fatal("Figure 1 gadget must be flagged symbolically")
+	}
+	par := mustRun(t, mustNew(t, spectre.WithSymbolic(true), spectre.WithWorkers(4)), p)
+	if par.Workers != 4 {
+		t.Fatalf("parallel Workers = %d, want 4 (option silently ignored)", par.Workers)
+	}
+	if par.States != serial.States || par.Paths != serial.Paths {
+		t.Fatalf("parallel states/paths %d/%d, serial %d/%d",
+			par.States, par.Paths, serial.States, serial.Paths)
+	}
+	// The serial driver reports in discovery order, the pool merges in
+	// schedule order — the multisets (schedules included) must match.
+	sk, pk := fullKeys(serial), fullKeys(par)
+	if len(sk) != len(pk) {
+		t.Fatalf("parallel %d findings, serial %d", len(pk), len(sk))
+	}
+	for i := range sk {
+		if sk[i] != pk[i] {
+			t.Fatalf("finding %d differs:\n serial   %s\n parallel %s", i, sk[i], pk[i])
+		}
+	}
+}
+
+// fullKeys renders every finding with its schedule, sorted — the
+// order-insensitive full-equality comparison between drivers.
+func fullKeys(rep *spectre.Report) []string {
+	out := make([]string, len(rep.Findings))
+	for i, f := range rep.Findings {
+		out[i] = findingKey(f) + "|" + fmt.Sprint(f.Schedule)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSymbolicParallelDedup is the acceptance criterion of the engine
+// unification: WithSymbolic composed with WithWorkers and WithDedup
+// runs the Figure 1 gadget in parallel with dedup hits, and the
+// distinct findings match the serial symbolic run's.
+func TestSymbolicParallelDedup(t *testing.T) {
+	p := figure1Symbolic(t)
+	serial := mustRun(t, mustNew(t, spectre.WithSymbolic(true)), p)
+	if serial.DedupHits != 0 {
+		t.Fatalf("dedup off but DedupHits = %d", serial.DedupHits)
+	}
+	par := mustRun(t, mustNew(t,
+		spectre.WithSymbolic(true),
+		spectre.WithWorkers(4),
+		spectre.WithDedup(1<<16),
+	), p)
+	if par.Workers != 4 {
+		t.Fatalf("Workers = %d, want 4", par.Workers)
+	}
+	if par.DedupHits == 0 {
+		t.Fatal("DedupHits = 0: the dedup table did not take effect on the symbolic run")
+	}
+	if par.SecretFree {
+		t.Fatal("parallel symbolic run lost the findings")
+	}
+	sk, pk := distinctKeys(serial), distinctKeys(par)
+	if len(sk) != len(pk) {
+		t.Fatalf("distinct findings: serial %d, parallel+dedup %d\n serial %v\n parallel %v", len(sk), len(pk), sk, pk)
+	}
+	for i := range sk {
+		if sk[i] != pk[i] {
+			t.Fatalf("distinct finding %d differs:\n serial   %s\n parallel %s", i, sk[i], pk[i])
+		}
+	}
+}
+
+// TestSymbolicInterruptParallel: context cancellation reaches the
+// symbolic worker pool like the concrete one.
+func TestSymbolicInterruptParallel(t *testing.T) {
+	p := figure1Symbolic(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	an := mustNew(t, spectre.WithSymbolic(true), spectre.WithWorkers(4))
+	rep, err := an.Run(ctx, p)
+	if err == nil {
+		t.Fatal("cancelled run must return the context error")
+	}
+	if rep == nil || !rep.Interrupted {
+		t.Fatalf("cancelled run must return a partial interrupted report, got %+v", rep)
+	}
+}

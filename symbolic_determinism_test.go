@@ -1,0 +1,110 @@
+// Determinism of the unified engine's parallel driver in the symbolic
+// domain: work-stealing changes which goroutine visits which subtree
+// and the per-query self-seeding solver answers independently of call
+// order, so a full parallel symbolic exploration must reproduce the
+// serial run exactly — same states, paths, and violation multiset
+// (schedules and witness models included), merged in schedule order.
+// Runs under -race in CI alongside its concrete twin.
+package pitchfork_test
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+
+	"pitchfork/internal/pitchfork"
+	"pitchfork/internal/testcases"
+)
+
+// symViolationStrings renders violations order-insensitively with
+// every deterministic field included.
+func symViolationStrings(rep pitchfork.Report) []string {
+	out := make([]string, len(rep.Violations))
+	for i, v := range rep.Violations {
+		out[i] = fmt.Sprintf("%s|pc=%d|src=%v|model=%v|%s", v.String(), v.PC, v.Sources, v.Model, v.Schedule)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestSymbolicParallelMatchesSerialOnKocherSample(t *testing.T) {
+	workers := runtime.NumCPU()
+	if workers > 8 {
+		workers = 8
+	}
+	// A corpus sample with distinct shapes: the Figure 1 baseline, the
+	// nested check, the safe-flag variant, and the compiled ternary.
+	all := testcases.Kocher()
+	for _, idx := range []int{0, 1, 6, 7} {
+		c := all[idx]
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			sm, err := c.BuildSym()
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, err := pitchfork.AnalyzeSymbolic(sm, pitchfork.Options{Bound: 20, ForwardHazards: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sm2, err := c.BuildSym()
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := pitchfork.AnalyzeSymbolic(sm2, pitchfork.Options{
+				Bound: 20, ForwardHazards: true, Workers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Workers != workers {
+				t.Fatalf("Workers = %d, want %d", par.Workers, workers)
+			}
+			if serial.States != par.States || serial.Paths != par.Paths {
+				t.Fatalf("serial %d states / %d paths, parallel %d states / %d paths",
+					serial.States, serial.Paths, par.States, par.Paths)
+			}
+			ss, ps := symViolationStrings(serial), symViolationStrings(par)
+			if len(ss) != len(ps) {
+				t.Fatalf("violation counts differ: serial %d, parallel %d", len(ss), len(ps))
+			}
+			for i := range ss {
+				if ss[i] != ps[i] {
+					t.Fatalf("violation sets differ at %d:\n serial   %s\n parallel %s", i, ss[i], ps[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSymbolicParallelIsReproducible: two identical parallel runs must
+// agree with each other bit for bit (the schedule-order merge is the
+// report order, so plain index-wise comparison applies).
+func TestSymbolicParallelIsReproducible(t *testing.T) {
+	c := testcases.Kocher()[0]
+	run := func() pitchfork.Report {
+		sm, err := c.BuildSym()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := pitchfork.AnalyzeSymbolic(sm, pitchfork.Options{
+			Bound: 20, ForwardHazards: true, Workers: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if len(a.Violations) != len(b.Violations) {
+		t.Fatalf("violation counts differ between runs: %d vs %d", len(a.Violations), len(b.Violations))
+	}
+	for i := range a.Violations {
+		av, bv := a.Violations[i], b.Violations[i]
+		if fmt.Sprintf("%s|%v|%v|%s", av, av.Sources, av.Model, av.Schedule) !=
+			fmt.Sprintf("%s|%v|%v|%s", bv, bv.Sources, bv.Model, bv.Schedule) {
+			t.Fatalf("run-to-run drift at violation %d:\n a %s %v\n b %s %v", i, av, av.Model, bv, bv.Model)
+		}
+	}
+}
