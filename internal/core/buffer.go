@@ -14,14 +14,71 @@ import (
 // always be contiguous"), so it is represented as a slice plus a base.
 // Indices grow monotonically across the run; the first fetched
 // instruction lands at index 1, matching MAX(∅) = 0.
+//
+// The representation is copy-on-write: Clone is O(1) and shares the
+// backing slice (and the transients it points to) with the original.
+// Mutating operations re-own the slice lazily, and in-place transient
+// mutation goes through Edit, which copies an entry that may still be
+// shared with a clone. Reslicing operations (PopMin, TruncateFrom)
+// never touch the shared array, so they stay O(1) even when shared.
 type Buffer struct {
 	base  int // index of items[0]; Min when non-empty
 	items []*Transient
+	// shared marks the backing array as possibly aliased by a clone;
+	// the next array write copies it first.
+	shared bool
+	// privateFrom is the lowest index whose transient is known to be
+	// owned exclusively by this buffer (everything at or above it was
+	// appended after the last Clone). Edit mutates those in place and
+	// copies older, possibly shared entries.
+	privateFrom int
+	// arena bump-allocates transients in chunks, so the fetch and
+	// execute rules do not pay one heap allocation per instruction.
+	// Cells are never reused; a clone starts a fresh arena (the parent
+	// keeps the tail of the current chunk, so the two never write the
+	// same cell).
+	arena []Transient
+}
+
+// transientArenaChunk caps the arena's chunk size. Chunks start small
+// and double up to the cap: a freshly forked buffer that only places
+// one or two transients before forking again pays no more than the
+// old per-transient allocation, while long straight-line runs
+// amortize to a chunk per 32 instructions.
+const transientArenaChunk = 32
+
+// alloc returns a fresh arena cell.
+func (b *Buffer) alloc() *Transient {
+	if len(b.arena) == cap(b.arena) {
+		n := cap(b.arena) * 2
+		if n == 0 {
+			n = 2
+		}
+		if n > transientArenaChunk {
+			n = transientArenaChunk
+		}
+		b.arena = make([]Transient, 0, n)
+	}
+	b.arena = append(b.arena, Transient{})
+	return &b.arena[len(b.arena)-1]
 }
 
 // NewBuffer returns an empty reorder buffer whose first insertion gets
 // index 1.
-func NewBuffer() *Buffer { return &Buffer{base: 1} }
+func NewBuffer() *Buffer { return &Buffer{base: 1, privateFrom: 1} }
+
+// own re-owns the backing array before a write when it may be shared
+// with a clone. Only the pointer slice is copied; the transients stay
+// shared and are protected by Edit's entry-level copy-on-write.
+func (b *Buffer) own() {
+	if !b.shared {
+		return
+	}
+	items := make([]*Transient, len(b.items), len(b.items)+8)
+	copy(items, b.items)
+	b.items = items
+	b.shared = false
+}
 
 // Len returns the number of buffered transient instructions.
 func (b *Buffer) Len() int { return len(b.items) }
@@ -62,8 +119,18 @@ func (b *Buffer) Get(i int) (*Transient, bool) {
 
 // Append inserts at MAX(buf)+1 and returns the new index.
 func (b *Buffer) Append(t *Transient) int {
+	b.own()
 	b.items = append(b.items, t)
 	return b.base + len(b.items) - 1
+}
+
+// AppendT is Append for a transient passed by value: the entry is
+// placed in the buffer's arena, so the caller's composite literal
+// stays off the heap.
+func (b *Buffer) AppendT(t Transient) int {
+	nt := b.alloc()
+	*nt = t
+	return b.Append(nt)
 }
 
 // Set replaces buf(i); it panics if i is outside the domain, since the
@@ -72,7 +139,36 @@ func (b *Buffer) Set(i int, t *Transient) {
 	if !b.Contains(i) {
 		panic(fmt.Sprintf("core: Buffer.Set(%d) outside [%d,%d]", i, b.Min(), b.Max()))
 	}
+	b.own()
 	b.items[i-b.base] = t
+}
+
+// SetT is Set for a transient passed by value, placed in the arena
+// like AppendT.
+func (b *Buffer) SetT(i int, t Transient) {
+	nt := b.alloc()
+	*nt = t
+	b.Set(i, nt)
+}
+
+// Edit returns buf(i) for in-place mutation. An entry that may still
+// be shared with a clone is copied (into the arena) and re-installed
+// first, so the returned transient is exclusively owned by this
+// buffer. Step rules that partially resolve an entry (store
+// value/address, predicted forwards) must mutate through Edit rather
+// than Get.
+func (b *Buffer) Edit(i int) (*Transient, bool) {
+	if !b.Contains(i) {
+		return nil, false
+	}
+	b.own()
+	if i >= b.privateFrom {
+		return b.items[i-b.base], true
+	}
+	cp := b.alloc()
+	*cp = *b.items[i-b.base]
+	b.items[i-b.base] = cp
+	return cp, true
 }
 
 // TruncateFrom implements buf[j : j < i]: it removes every entry at
@@ -130,15 +226,13 @@ func (b *Buffer) Indices() []int {
 	return out
 }
 
-// Clone returns a deep copy (transients are copied, operand slices
-// shared — operands are immutable after construction).
+// Clone returns an independent copy in O(1). The backing array and
+// the transients are shared; both buffers mark them copy-on-write, so
+// neither can observe the other's subsequent mutations.
 func (b *Buffer) Clone() *Buffer {
-	c := &Buffer{base: b.base, items: make([]*Transient, len(b.items))}
-	for i, t := range b.items {
-		cp := *t
-		c.items[i] = &cp
-	}
-	return c
+	b.shared = true
+	b.privateFrom = b.base + len(b.items)
+	return &Buffer{base: b.base, items: b.items, shared: true, privateFrom: b.privateFrom}
 }
 
 // String renders the buffer one entry per line, figure-style.
@@ -198,13 +292,25 @@ func (b *Buffer) ResolveOperand(i int, regs *mem.RegisterFile, o isa.Operand) (m
 // ResolveOperands is the pointwise lifting to operand lists; it fails
 // if any operand is ⊥.
 func (b *Buffer) ResolveOperands(i int, regs *mem.RegisterFile, os []isa.Operand) ([]mem.Value, bool) {
-	out := make([]mem.Value, len(os))
+	return b.ResolveOperandsInto(nil, i, regs, os)
+}
+
+// ResolveOperandsInto is ResolveOperands with a caller-supplied
+// destination, reused when its capacity suffices; the step rules pass
+// a per-machine scratch so per-step operand resolution allocates
+// nothing. The result aliases dst and is only valid until its next
+// reuse.
+func (b *Buffer) ResolveOperandsInto(dst []mem.Value, i int, regs *mem.RegisterFile, os []isa.Operand) ([]mem.Value, bool) {
+	if cap(dst) < len(os) {
+		dst = make([]mem.Value, len(os))
+	}
+	dst = dst[:len(os)]
 	for k, o := range os {
 		v, ok := b.ResolveOperand(i, regs, o)
 		if !ok {
 			return nil, false
 		}
-		out[k] = v
+		dst[k] = v
 	}
-	return out, true
+	return dst, true
 }

@@ -62,6 +62,26 @@ type Machine struct {
 	RSB  *RSB              // σ
 
 	Retired int // N: retired-instruction count (retire directives)
+
+	// opScratch backs per-step operand resolution (see
+	// Buffer.ResolveOperandsInto) and obsScratch the per-step
+	// observation lists Step returns; neither is part of the
+	// configuration.
+	opScratch  [4]mem.Value
+	obsScratch [2]Observation
+}
+
+// obs1 and obs2 return the step's observations in the machine's
+// scratch buffer — valid until the next Step call (Run and the
+// exploration engine consume them immediately; RunRecorded copies).
+func (m *Machine) obs1(a Observation) []Observation {
+	m.obsScratch[0] = a
+	return m.obsScratch[:1]
+}
+
+func (m *Machine) obs2(a, b Observation) []Observation {
+	m.obsScratch[0], m.obsScratch[1] = a, b
+	return m.obsScratch[:2]
 }
 
 // Option configures a Machine at construction.
@@ -177,7 +197,10 @@ func (m *Machine) Equal(o *Machine) bool {
 // Step executes one small step C ↪→ᵈ C′, returning the observations o
 // the step produces. A nil error means the directive applied; a
 // returned error wrapping ErrStall means the schedule is not
-// well-formed here and the machine is unchanged.
+// well-formed here and the machine is unchanged. The returned slice is
+// backed by a per-machine scratch buffer and is only valid until the
+// next Step call on this machine; consume or copy it first (Run
+// appends the values, RunRecorded copies).
 func (m *Machine) Step(d Directive) ([]Observation, error) {
 	switch d.Kind {
 	case DFetch, DFetchGuess, DFetchTarget:
@@ -218,12 +241,13 @@ type StepRecord struct {
 	Obs       []Observation
 }
 
-// RunRecorded is Run with per-step observation records.
+// RunRecorded is Run with per-step observation records. The records
+// copy each step's observations out of the machine's scratch buffer.
 func (m *Machine) RunRecorded(ds Schedule) ([]StepRecord, error) {
 	recs := make([]StepRecord, 0, len(ds))
 	for _, d := range ds {
 		obs, err := m.Step(d)
-		recs = append(recs, StepRecord{Directive: d, Obs: obs})
+		recs = append(recs, StepRecord{Directive: d, Obs: append([]Observation(nil), obs...)})
 		if err != nil {
 			return recs, err
 		}
@@ -246,9 +270,9 @@ func (m *Machine) stepFetch(d Directive) ([]Observation, error) {
 		if d.Kind != DFetch {
 			return nil, stall(d, "%s requires a plain fetch", in.Kind)
 		}
-		t := transientOf(in)
+		t := transientValue(in)
 		t.PP = m.PC
-		m.Buf.Append(t)
+		m.Buf.AppendT(t)
 		m.PC = in.Next
 		return nil, nil
 
@@ -262,7 +286,7 @@ func (m *Machine) stepFetch(d Directive) ([]Observation, error) {
 		if d.Taken {
 			guess = in.True
 		}
-		m.Buf.Append(&Transient{
+		m.Buf.AppendT(Transient{
 			Kind: TBr, Op: in.Op, Args: in.Args,
 			Guess: guess, True: in.True, False: in.False,
 			PP: m.PC,
@@ -275,7 +299,7 @@ func (m *Machine) stepFetch(d Directive) ([]Observation, error) {
 		if d.Kind != DFetchTarget {
 			return nil, stall(d, "jmpi requires fetch: n")
 		}
-		m.Buf.Append(&Transient{Kind: TJmpi, Args: in.Args, Guess: d.Target, PP: m.PC})
+		m.Buf.AppendT(Transient{Kind: TJmpi, Args: in.Args, Guess: d.Target, PP: m.PC})
 		m.PC = d.Target
 		return nil, nil
 
@@ -285,9 +309,9 @@ func (m *Machine) stepFetch(d Directive) ([]Observation, error) {
 		if d.Kind != DFetch {
 			return nil, stall(d, "call requires a plain fetch")
 		}
-		i := m.Buf.Append(&Transient{Kind: TCall, PP: m.PC})
-		m.Buf.Append(&Transient{Kind: TOp, Dst: mem.RSP, Op: isa.OpSucc, Args: []isa.Operand{isa.R(mem.RSP)}, PP: m.PC})
-		m.Buf.Append(&Transient{
+		i := m.Buf.AppendT(Transient{Kind: TCall, PP: m.PC})
+		m.Buf.AppendT(Transient{Kind: TOp, Dst: mem.RSP, Op: isa.OpSucc, Args: []isa.Operand{isa.R(mem.RSP)}, PP: m.PC})
+		m.Buf.AppendT(Transient{
 			Kind: TStore, Src: isa.Imm(mem.Pub(in.RetPt)),
 			ValKnown: true, SVal: mem.Pub(in.RetPt),
 			Args: []isa.Operand{isa.R(mem.RSP)},
@@ -317,10 +341,10 @@ func (m *Machine) stepFetch(d Directive) ([]Observation, error) {
 			target = d.Target
 		}
 		retPt := m.PC
-		i := m.Buf.Append(&Transient{Kind: TRet, PP: retPt})
-		m.Buf.Append(&Transient{Kind: TLoad, Dst: mem.RTMP, Args: []isa.Operand{isa.R(mem.RSP)}, PP: retPt})
-		m.Buf.Append(&Transient{Kind: TOp, Dst: mem.RSP, Op: isa.OpPred, Args: []isa.Operand{isa.R(mem.RSP)}, PP: retPt})
-		m.Buf.Append(&Transient{Kind: TJmpi, Args: []isa.Operand{isa.R(mem.RTMP)}, Guess: target, PP: retPt})
+		i := m.Buf.AppendT(Transient{Kind: TRet, PP: retPt})
+		m.Buf.AppendT(Transient{Kind: TLoad, Dst: mem.RTMP, Args: []isa.Operand{isa.R(mem.RSP)}, PP: retPt})
+		m.Buf.AppendT(Transient{Kind: TOp, Dst: mem.RSP, Op: isa.OpPred, Args: []isa.Operand{isa.R(mem.RSP)}, PP: retPt})
+		m.Buf.AppendT(Transient{Kind: TJmpi, Args: []isa.Operand{isa.R(mem.RTMP)}, Guess: target, PP: retPt})
 		m.RSB.Pop(i)
 		m.PC = target
 		return nil, nil
@@ -357,7 +381,7 @@ func (m *Machine) stepExecute(d Directive) ([]Observation, error) {
 }
 
 func (m *Machine) execOp(d Directive, t *Transient) ([]Observation, error) {
-	vals, ok := m.Buf.ResolveOperands(d.I, m.Regs, t.Args)
+	vals, ok := m.Buf.ResolveOperandsInto(m.opScratch[:0], d.I, m.Regs, t.Args)
 	if !ok {
 		return nil, stall(d, "operands of %s unresolved", t)
 	}
@@ -365,12 +389,12 @@ func (m *Machine) execOp(d Directive, t *Transient) ([]Observation, error) {
 	if err != nil {
 		return nil, fault(d, "eval: %v", err)
 	}
-	m.Buf.Set(d.I, &Transient{Kind: TValue, Dst: t.Dst, Val: v})
+	m.Buf.SetT(d.I, Transient{Kind: TValue, Dst: t.Dst, Val: v})
 	return nil, nil
 }
 
 func (m *Machine) execBranch(d Directive, t *Transient) ([]Observation, error) {
-	vals, ok := m.Buf.ResolveOperands(d.I, m.Regs, t.Args)
+	vals, ok := m.Buf.ResolveOperandsInto(m.opScratch[:0], d.I, m.Regs, t.Args)
 	if !ok {
 		return nil, stall(d, "branch condition unresolved")
 	}
@@ -384,20 +408,20 @@ func (m *Machine) execBranch(d Directive, t *Transient) ([]Observation, error) {
 	}
 	if actual == t.Guess {
 		// cond-execute-correct
-		m.Buf.Set(d.I, &Transient{Kind: TJump, Target: actual})
-		return []Observation{JumpObs(actual, cond.L)}, nil
+		m.Buf.SetT(d.I, Transient{Kind: TJump, Target: actual})
+		return m.obs1(JumpObs(actual, cond.L)), nil
 	}
 	// cond-execute-incorrect: discard everything from i on, reinstall
 	// the resolved jump at i, redirect the PC, roll back σ.
 	m.Buf.TruncateFrom(d.I)
 	m.RSB.Rollback(d.I)
-	m.Buf.Append(&Transient{Kind: TJump, Target: actual})
+	m.Buf.AppendT(Transient{Kind: TJump, Target: actual})
 	m.PC = actual
-	return []Observation{RollbackObs(), JumpObs(actual, cond.L)}, nil
+	return m.obs2(RollbackObs(), JumpObs(actual, cond.L)), nil
 }
 
 func (m *Machine) execJmpi(d Directive, t *Transient) ([]Observation, error) {
-	vals, ok := m.Buf.ResolveOperands(d.I, m.Regs, t.Args)
+	vals, ok := m.Buf.ResolveOperandsInto(m.opScratch[:0], d.I, m.Regs, t.Args)
 	if !ok {
 		return nil, stall(d, "jump target operands unresolved")
 	}
@@ -407,19 +431,19 @@ func (m *Machine) execJmpi(d Directive, t *Transient) ([]Observation, error) {
 	}
 	if target.W == t.Guess {
 		// jmpi-execute-correct
-		m.Buf.Set(d.I, &Transient{Kind: TJump, Target: target.W})
-		return []Observation{JumpObs(target.W, target.L)}, nil
+		m.Buf.SetT(d.I, Transient{Kind: TJump, Target: target.W})
+		return m.obs1(JumpObs(target.W, target.L)), nil
 	}
 	// jmpi-execute-incorrect
 	m.Buf.TruncateFrom(d.I)
 	m.RSB.Rollback(d.I)
-	m.Buf.Append(&Transient{Kind: TJump, Target: target.W})
+	m.Buf.AppendT(Transient{Kind: TJump, Target: target.W})
 	m.PC = target.W
-	return []Observation{RollbackObs(), JumpObs(target.W, target.L)}, nil
+	return m.obs2(RollbackObs(), JumpObs(target.W, target.L)), nil
 }
 
 func (m *Machine) execLoad(d Directive, t *Transient) ([]Observation, error) {
-	vals, ok := m.Buf.ResolveOperands(d.I, m.Regs, t.Args)
+	vals, ok := m.Buf.ResolveOperandsInto(m.opScratch[:0], d.I, m.Regs, t.Args)
 	if !ok {
 		return nil, stall(d, "load address operands unresolved")
 	}
@@ -441,28 +465,28 @@ func (m *Machine) execLoad(d Directive, t *Transient) ([]Observation, error) {
 			return nil, stall(d, "matching store at %d has unresolved data", j)
 		}
 		// load-execute-forward
-		m.Buf.Set(d.I, &Transient{
+		m.Buf.SetT(d.I, Transient{
 			Kind: TValue, Dst: t.Dst, Val: st.SVal,
 			FromLoad: true, Dep: j, DataAddr: addr.W, PP: t.PP,
 		})
-		return []Observation{FwdObs(addr.W, addr.L)}, nil
+		return m.obs1(FwdObs(addr.W, addr.L)), nil
 	}
 	// load-execute-nodep
 	v, err := m.Mem.Read(addr.W)
 	if err != nil {
 		return nil, fault(d, "%v", err)
 	}
-	m.Buf.Set(d.I, &Transient{
+	m.Buf.SetT(d.I, Transient{
 		Kind: TValue, Dst: t.Dst, Val: v,
 		FromLoad: true, Dep: NoDep, DataAddr: addr.W, PP: t.PP,
 	})
-	return []Observation{ReadObs(addr.W, addr.L)}, nil
+	return m.obs1(ReadObs(addr.W, addr.L)), nil
 }
 
 // execPredictedLoad resolves a partially resolved load
 // (r = load(r⃗v, (vℓ, j)))n — the §3.5 aliasing-prediction extension.
 func (m *Machine) execPredictedLoad(d Directive, t *Transient) ([]Observation, error) {
-	vals, ok := m.Buf.ResolveOperands(d.I, m.Regs, t.Args)
+	vals, ok := m.Buf.ResolveOperandsInto(m.opScratch[:0], d.I, m.Regs, t.Args)
 	if !ok {
 		return nil, stall(d, "load address operands unresolved")
 	}
@@ -483,18 +507,18 @@ func (m *Machine) execPredictedLoad(d Directive, t *Transient) ([]Observation, e
 		}
 		if !mismatch && !intervening {
 			// load-execute-addr-ok
-			m.Buf.Set(d.I, &Transient{
+			m.Buf.SetT(d.I, Transient{
 				Kind: TValue, Dst: t.Dst, Val: st.SVal,
 				FromLoad: true, Dep: j, DataAddr: addr.W, PP: t.PP,
 			})
-			return []Observation{FwdObs(addr.W, addr.L)}, nil
+			return m.obs1(FwdObs(addr.W, addr.L)), nil
 		}
 		// load-execute-addr-hazard: discard the load and everything
 		// after it; restart at the load's own program point.
 		m.Buf.TruncateFrom(d.I)
 		m.RSB.Rollback(d.I)
 		m.PC = t.PP
-		return []Observation{RollbackObs(), FwdObs(addr.W, addr.L)}, nil
+		return m.obs2(RollbackObs(), FwdObs(addr.W, addr.L)), nil
 	}
 	// Originating store already retired: validate against memory,
 	// provided no other buffered store resolves to this address.
@@ -509,17 +533,17 @@ func (m *Machine) execPredictedLoad(d Directive, t *Transient) ([]Observation, e
 	}
 	if v.Equal(t.PredVal) {
 		// load-execute-addr-mem-match
-		m.Buf.Set(d.I, &Transient{
+		m.Buf.SetT(d.I, Transient{
 			Kind: TValue, Dst: t.Dst, Val: v,
 			FromLoad: true, Dep: NoDep, DataAddr: addr.W, PP: t.PP,
 		})
-		return []Observation{ReadObs(addr.W, addr.L)}, nil
+		return m.obs1(ReadObs(addr.W, addr.L)), nil
 	}
 	// load-execute-addr-mem-hazard
 	m.Buf.TruncateFrom(d.I)
 	m.RSB.Rollback(d.I)
 	m.PC = t.PP
-	return []Observation{RollbackObs(), ReadObs(addr.W, addr.L)}, nil
+	return m.obs2(RollbackObs(), ReadObs(addr.W, addr.L)), nil
 }
 
 func (m *Machine) stepExecuteValue(d Directive) ([]Observation, error) {
@@ -538,6 +562,7 @@ func (m *Machine) stepExecuteValue(d Directive) ([]Observation, error) {
 		return nil, stall(d, "store data operand unresolved")
 	}
 	// store-execute-value
+	t, _ = m.Buf.Edit(d.I)
 	t.ValKnown = true
 	t.SVal = v
 	return nil, nil
@@ -554,7 +579,7 @@ func (m *Machine) stepExecuteAddr(d Directive) ([]Observation, error) {
 	if t.AddrKnown {
 		return nil, stall(d, "store address already resolved")
 	}
-	vals, ok := m.Buf.ResolveOperands(d.I, m.Regs, t.Args)
+	vals, ok := m.Buf.ResolveOperandsInto(m.opScratch[:0], d.I, m.Regs, t.Args)
 	if !ok {
 		return nil, stall(d, "store address operands unresolved")
 	}
@@ -582,19 +607,21 @@ func (m *Machine) stepExecuteAddr(d Directive) ([]Observation, error) {
 	}
 	if hazardLoad == nil {
 		// store-execute-addr-ok
+		t, _ = m.Buf.Edit(d.I)
 		t.AddrKnown = true
 		t.SAddr = addr
-		return []Observation{FwdObs(addr.W, addr.L)}, nil
+		return m.obs1(FwdObs(addr.W, addr.L)), nil
 	}
 	// store-execute-addr-hazard: restart at the stale load's program
 	// point, discarding it and everything younger.
 	restart := hazardLoad.PP
 	m.Buf.TruncateFrom(hazardAt)
 	m.RSB.Rollback(hazardAt)
+	t, _ = m.Buf.Edit(d.I)
 	t.AddrKnown = true
 	t.SAddr = addr
 	m.PC = restart
-	return []Observation{RollbackObs(), FwdObs(addr.W, addr.L)}, nil
+	return m.obs2(RollbackObs(), FwdObs(addr.W, addr.L)), nil
 }
 
 func (m *Machine) stepExecuteFwd(d Directive) ([]Observation, error) {
@@ -616,6 +643,7 @@ func (m *Machine) stepExecuteFwd(d Directive) ([]Observation, error) {
 		return nil, stall(d, "index %d is not a value-resolved store", d.From)
 	}
 	// load-execute-forwarded-guessed
+	t, _ = m.Buf.Edit(d.I)
 	t.PredFwd = true
 	t.PredVal = st.SVal
 	t.PredFrom = d.From
@@ -654,7 +682,7 @@ func (m *Machine) stepRetire(d Directive) ([]Observation, error) {
 		m.Mem.Write(t.SAddr.W, t.SVal)
 		m.Buf.PopMin()
 		m.Retired++
-		return []Observation{WriteObs(t.SAddr.W, t.SAddr.L)}, nil
+		return m.obs1(WriteObs(t.SAddr.W, t.SAddr.L)), nil
 
 	case TFence:
 		// fence-retire
@@ -673,7 +701,7 @@ func (m *Machine) stepRetire(d Directive) ([]Observation, error) {
 		m.Mem.Write(st.SAddr.W, st.SVal)
 		m.Buf.PopMinN(3)
 		m.Retired++
-		return []Observation{WriteObs(st.SAddr.W, st.SAddr.L)}, nil
+		return m.obs1(WriteObs(st.SAddr.W, st.SAddr.L)), nil
 
 	case TRet:
 		// ret-retire: commits the popped stack pointer; rtmp is

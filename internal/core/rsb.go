@@ -55,9 +55,17 @@ type rsbEntry struct {
 // index i simply discards entries journaled at indices ≥ i, which is
 // how the paper says σ is "rolled back on misspeculation or memory
 // hazards".
+//
+// The journal is copy-on-write: Clone is O(1) and shares the entry
+// slice; appends re-own it lazily, and rollback is a pure reslice
+// (safe on a shared array), so forks pay only for entries journaled
+// after the fork.
 type RSB struct {
 	policy  RSBPolicy
 	entries []rsbEntry
+	// shared marks the backing array as possibly aliased by a clone;
+	// the next append copies it first.
+	shared bool
 }
 
 // NewRSB returns an empty RSB with the given policy.
@@ -66,25 +74,41 @@ func NewRSB(policy RSBPolicy) *RSB { return &RSB{policy: policy} }
 // Policy returns the empty-RSB behaviour.
 func (s *RSB) Policy() RSBPolicy { return s.policy }
 
+// own re-owns the backing array before an append when it may be
+// shared with a clone.
+func (s *RSB) own() {
+	if !s.shared {
+		return
+	}
+	entries := make([]rsbEntry, len(s.entries), len(s.entries)+4)
+	copy(entries, s.entries)
+	s.entries = entries
+	s.shared = false
+}
+
 // Push journals σ[i ↦ push n].
 func (s *RSB) Push(idx int, target isa.Addr) {
+	s.own()
 	s.entries = append(s.entries, rsbEntry{idx: idx, isPush: true, target: target})
 }
 
 // Pop journals σ[i ↦ pop].
 func (s *RSB) Pop(idx int) {
+	s.own()
 	s.entries = append(s.entries, rsbEntry{idx: idx})
 }
 
-// Rollback discards entries journaled at buffer indices ≥ i.
+// Rollback discards entries journaled at buffer indices ≥ i. Entries
+// are journaled in fetch order and every rollback discards a suffix
+// before indices are reused, so the journal is always sorted by idx
+// and the discard is a reslice of the tail — O(discarded) and safe on
+// a shared backing array.
 func (s *RSB) Rollback(i int) {
-	keep := s.entries[:0]
-	for _, e := range s.entries {
-		if e.idx < i {
-			keep = append(keep, e)
-		}
+	n := len(s.entries)
+	for n > 0 && s.entries[n-1].idx >= i {
+		n--
 	}
-	s.entries = keep
+	s.entries = s.entries[:n]
 }
 
 // Top evaluates top(σ) = st(MAX(st)) where st = JσK: the journal is
@@ -105,18 +129,23 @@ func (s *RSB) Top() (isa.Addr, bool) {
 		}
 		return ring[((sp%rsbCircularSize)+rsbCircularSize)%rsbCircularSize], true
 	}
-	var st []isa.Addr
-	for _, e := range s.entries {
-		if e.isPush {
-			st = append(st, e.target)
-		} else if len(st) > 0 {
-			st = st[:len(st)-1]
+	// Backward scan, allocation-free: the replayed top is the youngest
+	// push not cancelled by a later pop. Pops that underflow an empty
+	// stack in the forward replay have no matching earlier push, so
+	// they cannot cancel one here either — the two replays agree.
+	depth := 0
+	for k := len(s.entries) - 1; k >= 0; k-- {
+		e := s.entries[k]
+		if !e.isPush {
+			depth++
+			continue
 		}
+		if depth == 0 {
+			return e.target, true
+		}
+		depth--
 	}
-	if len(st) == 0 {
-		return 0, false
-	}
-	return st[len(st)-1], true
+	return 0, false
 }
 
 // Depth returns the replayed stack depth (may go negative under
@@ -133,11 +162,12 @@ func (s *RSB) Depth() int {
 	return d
 }
 
-// Clone returns a deep copy.
+// Clone returns an independent copy in O(1): the journal's backing
+// array is shared and marked copy-on-write on both sides, so the next
+// append on either side re-owns it first.
 func (s *RSB) Clone() *RSB {
-	c := &RSB{policy: s.policy, entries: make([]rsbEntry, len(s.entries))}
-	copy(c.entries, s.entries)
-	return c
+	s.shared = true
+	return &RSB{policy: s.policy, entries: s.entries, shared: true}
 }
 
 // String renders the journal, e.g. "[1↦push 4][8↦pop]".

@@ -176,25 +176,25 @@ func opList(args []isa.Operand) string {
 // transient form (the transient(·) function of simple-fetch). Stores
 // whose data operand is an immediate arrive with the value pre-resolved
 // — the paper notes "either step may be skipped if data or address are
-// already in immediate form".
-func transientOf(in isa.Instr) *Transient {
+// already in immediate form". Operand slices are shared with the
+// static program: operands are immutable after assembly and transients
+// never rewrite Args, so no copy is needed (branch and jmpi fetches
+// already share them).
+func transientValue(in isa.Instr) Transient {
 	switch in.Kind {
 	case isa.KOp:
-		args := append([]isa.Operand(nil), in.Args...)
-		return &Transient{Kind: TOp, Dst: in.Dst, Op: in.Op, Args: args}
+		return Transient{Kind: TOp, Dst: in.Dst, Op: in.Op, Args: in.Args}
 	case isa.KLoad:
-		args := append([]isa.Operand(nil), in.Args...)
-		return &Transient{Kind: TLoad, Dst: in.Dst, Args: args}
+		return Transient{Kind: TLoad, Dst: in.Dst, Args: in.Args}
 	case isa.KStore:
-		args := append([]isa.Operand(nil), in.Args...)
-		t := &Transient{Kind: TStore, Src: in.Src, Args: args}
+		t := Transient{Kind: TStore, Src: in.Src, Args: in.Args}
 		if !in.Src.IsReg {
 			t.ValKnown = true
 			t.SVal = in.Src.Imm
 		}
 		return t
 	case isa.KFence:
-		return &Transient{Kind: TFence}
+		return Transient{Kind: TFence}
 	}
 	panic(fmt.Sprintf("core: transientOf(%v): not a simple-fetch instruction", in.Kind))
 }

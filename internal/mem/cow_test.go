@@ -1,0 +1,168 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestMemoryCloneIndependenceDeepChains mutates parent and child on
+// both sides of every fork across chains long enough to cross the
+// flatten boundary: no write on one side may ever be visible on the
+// other, and Len must track the effective domain exactly.
+func TestMemoryCloneIndependenceDeepChains(t *testing.T) {
+	root := NewMemory()
+	for i := 0; i < 32; i++ {
+		root.Write(Word(i), Pub(uint64(i)))
+	}
+	cur := root
+	clones := []*Memory{root}
+	for g := 0; g < 3*MaxChainDepth; g++ {
+		c := cur.Clone()
+		// Diverge: the child overwrites one inherited cell and maps a
+		// fresh one; the parent overwrites a different inherited cell.
+		c.Write(Word(g%32), Sec(uint64(1000+g)))
+		c.Write(Word(100+g), Pub(uint64(g)))
+		cur.Write(Word((g+7)%32), Pub(uint64(2000+g)))
+		clones = append(clones, c)
+		cur = c
+	}
+	// The child's writes never leak into any ancestor.
+	for g, c := range clones[:len(clones)-1] {
+		if c.Contains(Word(100 + g)) {
+			t.Fatalf("generation %d sees a descendant's fresh cell", g)
+		}
+	}
+	// The last clone sees every inherited cell plus its own writes.
+	last := clones[len(clones)-1]
+	wantLen := 32 + (3 * MaxChainDepth) // inherited domain + one fresh cell per generation
+	if last.Len() != wantLen {
+		t.Fatalf("Len = %d, want %d", last.Len(), wantLen)
+	}
+	if v, _ := last.Read(Word(100 + 3*MaxChainDepth - 1)); v != Pub(uint64(3*MaxChainDepth-1)) {
+		t.Fatalf("last clone lost its own write: %v", v)
+	}
+}
+
+// TestMemoryParentWriteInvisibleToChild is the other direction of
+// clone independence: writes to the parent after the fork must not
+// appear in the child.
+func TestMemoryParentWriteInvisibleToChild(t *testing.T) {
+	p := NewMemory()
+	p.Write(1, Pub(10))
+	c := p.Clone()
+	p.Write(1, Pub(20))
+	p.Write(2, Pub(30))
+	if v, _ := c.Read(1); v != Pub(10) {
+		t.Fatalf("child sees parent's post-fork overwrite: %v", v)
+	}
+	if c.Contains(2) {
+		t.Fatal("child sees parent's post-fork fresh cell")
+	}
+}
+
+// TestMemoryHashSumStableAcrossChains checks fingerprint stability:
+// however a memory's contents were reached — straight-line writes,
+// clone chains with shadowed cells, flattened or not — equal contents
+// produce equal HashSums, and incremental maintenance agrees with a
+// from-scratch computation.
+func TestMemoryHashSumStableAcrossChains(t *testing.T) {
+	chained := NewMemory()
+	_ = chained.HashSum() // activate incremental maintenance early
+	for i := 0; i < 8; i++ {
+		chained.Write(Word(i), Pub(uint64(i)))
+	}
+	for g := 0; g < 2*MaxChainDepth; g++ {
+		chained = chained.Clone()
+		chained.Write(Word(g%8), Sec(uint64(g)))
+		chained.Write(Word(50+g), Pub(uint64(g)))
+	}
+	// Rebuild the same contents flat, hashing only at the end.
+	flat := NewMemory()
+	for _, a := range chained.Addresses() {
+		v, _ := chained.Read(a)
+		flat.Write(a, v)
+	}
+	if !chained.Equal(flat) {
+		t.Fatal("rebuild must be Equal")
+	}
+	if chained.HashSum() != flat.HashSum() {
+		t.Fatalf("HashSum diverged: chained %#x, flat %#x", chained.HashSum(), flat.HashSum())
+	}
+}
+
+// TestRegisterFileCloneIndependenceDeepChains mirrors the memory test
+// for the register file, including HashSum agreement between a COW
+// chain and a fresh rebuild.
+func TestRegisterFileCloneIndependenceDeepChains(t *testing.T) {
+	f := NewRegisterFile()
+	_ = f.HashSum()
+	for r := Reg(0); r < 8; r++ {
+		f.Write(r, Pub(uint64(r)))
+	}
+	parent := f
+	for g := 0; g < 2*MaxChainDepth; g++ {
+		c := parent.Clone()
+		c.Write(Reg(g%8), Sec(uint64(g)))
+		parent.Write(Reg((g+3)%8), Pub(uint64(100+g)))
+		if c.Read(Reg((g+3)%8)) == Pub(uint64(100+g)) && (g+3)%8 != g%8 {
+			t.Fatalf("generation %d: parent write visible in child", g)
+		}
+		parent = c
+	}
+	flat := NewRegisterFile()
+	for _, r := range parent.Registers() {
+		flat.Write(r, parent.Read(r))
+	}
+	if !parent.Equal(flat) || parent.HashSum() != flat.HashSum() {
+		t.Fatalf("chained register file must Equal its rebuild with the same HashSum")
+	}
+}
+
+// TestRegisterFileCompareAllocationFree pins the satellite fix: Equal
+// and LowEquiv on register files must not allocate, even across clone
+// chains (they used to build a per-call union set).
+func TestRegisterFileCompareAllocationFree(t *testing.T) {
+	a, b := NewRegisterFile(), NewRegisterFile()
+	for r := Reg(0); r < 16; r++ {
+		a.Write(r, Pub(uint64(r)))
+		b.Write(r, Pub(uint64(r)))
+	}
+	a = a.Clone() // compare across a chain, not just flat maps
+	a.Write(3, Pub(3))
+	if avg := testing.AllocsPerRun(100, func() {
+		if !a.Equal(b) || !a.LowEquiv(b) {
+			t.Fatal("files must compare equal")
+		}
+	}); avg != 0 {
+		t.Fatalf("Equal/LowEquiv allocated %.1f objects per run, want 0", avg)
+	}
+}
+
+// TestMemoryEquivalencePropertiesOnChains re-runs the original
+// LowEquiv property on chained memories: reflexivity and symmetry
+// must survive the representation change.
+func TestMemoryEquivalencePropertiesOnChains(t *testing.T) {
+	gen := func(seed uint64) *Memory {
+		m := NewMemory()
+		x := seed
+		for i := 0; i < 24; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			l := Public
+			if x&1 == 1 {
+				l = Secret
+			}
+			m.Write(Word(i%12), V(x>>8, l))
+			if i%5 == 0 {
+				m = m.Clone()
+			}
+		}
+		return m
+	}
+	f := func(seed uint64) bool {
+		m, n := gen(seed), gen(seed^0xbeef)
+		return m.LowEquiv(m) && m.Equal(m) && m.LowEquiv(n) == n.LowEquiv(m) && m.Equal(n) == n.Equal(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -31,14 +31,23 @@ func cellHash(key uint64, v Value) uint64 {
 	return Mix64(h ^ uint64(v.L))
 }
 
+// ---------------------------------------------------------------------
+// Memory
+// ---------------------------------------------------------------------
+
 // Memory is the labeled data memory µ : V ⇀ V of a configuration: a
 // sparse, word-granular map from addresses to labeled values. Reads of
 // unmapped addresses return a labeled zero by default (the machine is
 // total over data addresses, like a zero-filled address space), unless
 // the memory is constructed Strict, in which case they are errors —
 // strict mode is what the test suites use to catch wild reads early.
+//
+// The representation is copy-on-write (see CowMap): Clone is O(1),
+// sharing a chain of frozen overlays with the original, and each fork
+// pays only for the cells it writes afterwards. This is what makes
+// exploration-tree forking O(changed-cells) instead of O(memory-size).
 type Memory struct {
-	cells  map[Word]Value
+	m      CowMap[Word, Value]
 	strict bool
 	// sum is the order-independent sum of cellHash over all mapped
 	// cells — the O(1) memory half of the machine fingerprint. It is
@@ -50,12 +59,12 @@ type Memory struct {
 }
 
 // NewMemory returns an empty, non-strict memory.
-func NewMemory() *Memory { return &Memory{cells: make(map[Word]Value)} }
+func NewMemory() *Memory { return &Memory{} }
 
 // NewStrictMemory returns an empty memory whose reads of unmapped
 // addresses fail.
 func NewStrictMemory() *Memory {
-	return &Memory{cells: make(map[Word]Value), strict: true}
+	return &Memory{strict: true}
 }
 
 // Strict reports whether unmapped reads are errors.
@@ -64,7 +73,7 @@ func (m *Memory) Strict() bool { return m.strict }
 // Read returns µ(a). For non-strict memories, unmapped addresses read
 // as Pub(0).
 func (m *Memory) Read(a Word) (Value, error) {
-	if v, ok := m.cells[a]; ok {
+	if v, ok := m.m.Lookup(a); ok {
 		return v, nil
 	}
 	if m.strict {
@@ -75,13 +84,13 @@ func (m *Memory) Read(a Word) (Value, error) {
 
 // Write sets µ(a) = v.
 func (m *Memory) Write(a Word, v Value) {
+	old, existed := m.m.Set(a, v)
 	if m.hashed {
-		if old, ok := m.cells[a]; ok {
+		if existed {
 			m.sum -= cellHash(a, old)
 		}
 		m.sum += cellHash(a, v)
 	}
-	m.cells[a] = v
 }
 
 // HashSum returns the order-independent hash sum over all mapped
@@ -92,39 +101,33 @@ func (m *Memory) HashSum() uint64 {
 	if !m.hashed {
 		m.hashed = true
 		m.sum = 0
-		for a, v := range m.cells {
+		m.m.FlatEach(func(a Word, v Value) {
 			m.sum += cellHash(a, v)
-		}
+		})
 	}
 	return m.sum
 }
 
 // Contains reports whether a is mapped.
 func (m *Memory) Contains(a Word) bool {
-	_, ok := m.cells[a]
+	_, ok := m.m.Lookup(a)
 	return ok
 }
 
 // Len returns the number of mapped cells.
-func (m *Memory) Len() int { return len(m.cells) }
+func (m *Memory) Len() int { return m.m.Len() }
 
-// Clone returns a deep copy. Step rules never mutate a shared memory;
-// the machine clones lazily at rollback boundaries and the SCT checker
-// clones per low-equivalent run.
+// Clone returns an independent copy in O(1): the original's overlay is
+// frozen into the shared chain, and both memories continue with empty
+// private overlays. Step rules never mutate a shared layer, so the two
+// copies cannot observe one another's subsequent writes.
 func (m *Memory) Clone() *Memory {
-	c := &Memory{cells: make(map[Word]Value, len(m.cells)), strict: m.strict, sum: m.sum, hashed: m.hashed}
-	for a, v := range m.cells {
-		c.cells[a] = v
-	}
-	return c
+	return &Memory{m: m.m.Fork(), strict: m.strict, sum: m.sum, hashed: m.hashed}
 }
 
 // Addresses returns the mapped addresses in increasing order.
 func (m *Memory) Addresses() []Word {
-	out := make([]Word, 0, len(m.cells))
-	for a := range m.cells {
-		out = append(out, a)
-	}
+	out := m.m.Keys()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -138,43 +141,55 @@ func (m *Memory) WriteRegion(base Word, vs []Value) {
 
 // LowEquiv reports µ ≃pub µ′: the two memories agree on their public
 // cells — same mapped domain, same labels everywhere, and equal words
-// wherever the label is public.
+// wherever the label is public. The comparison is allocation-free: it
+// walks the receiver's layers and resolves both sides through lookup
+// (keys shadowed across layers are simply compared more than once).
 func (m *Memory) LowEquiv(o *Memory) bool {
-	if len(m.cells) != len(o.cells) {
+	if m.m.Len() != o.m.Len() {
 		return false
 	}
-	for a, v := range m.cells {
-		w, ok := o.cells[a]
-		if !ok || v.L != w.L {
+	eq := true
+	m.m.EachKey(func(a Word) bool {
+		v, _ := m.m.Lookup(a)
+		w, ok := o.m.Lookup(a)
+		if !ok || v.L != w.L || (v.L.IsPublic() && v.W != w.W) {
+			eq = false
 			return false
 		}
-		if v.L.IsPublic() && v.W != w.W {
-			return false
-		}
-	}
-	return true
+		return true
+	})
+	return eq
 }
 
 // Equal reports exact equality of the two memories (domain, words,
 // labels). It implements the memory half of the ≈ equivalence used by
 // the sequential-consistency theorems.
 func (m *Memory) Equal(o *Memory) bool {
-	if len(m.cells) != len(o.cells) {
+	if m.m.Len() != o.m.Len() {
 		return false
 	}
-	for a, v := range m.cells {
-		if w, ok := o.cells[a]; !ok || w != v {
+	eq := true
+	m.m.EachKey(func(a Word) bool {
+		v, _ := m.m.Lookup(a)
+		if w, ok := o.m.Lookup(a); !ok || w != v {
+			eq = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return eq
 }
+
+// ---------------------------------------------------------------------
+// Register file
+// ---------------------------------------------------------------------
 
 // RegisterFile is the register map ρ : R ⇀ V. Register names are
 // small integers; the assembler maps symbolic names (ra, rb, …, rsp,
-// rtmp) onto them.
+// rtmp) onto them. Like Memory, the representation is copy-on-write:
+// Clone is O(1) and forks pay only for the registers they write.
 type RegisterFile struct {
-	regs map[Reg]Value
+	m CowMap[Reg, Value]
 	// sum and hashed mirror Memory: the lazily activated, then
 	// incrementally maintained, order-independent hash of all mapped
 	// registers.
@@ -195,13 +210,13 @@ const (
 
 // NewRegisterFile returns an empty register file.
 func NewRegisterFile() *RegisterFile {
-	return &RegisterFile{regs: make(map[Reg]Value)}
+	return &RegisterFile{}
 }
 
 // Read returns ρ(r); unmapped registers read as Pub(0), mirroring a
 // zeroed register file at power-on.
 func (f *RegisterFile) Read(r Reg) Value {
-	if v, ok := f.regs[r]; ok {
+	if v, ok := f.m.Lookup(r); ok {
 		return v
 	}
 	return Pub(0)
@@ -209,13 +224,13 @@ func (f *RegisterFile) Read(r Reg) Value {
 
 // Write sets ρ(r) = v.
 func (f *RegisterFile) Write(r Reg, v Value) {
+	old, existed := f.m.Set(r, v)
 	if f.hashed {
-		if old, ok := f.regs[r]; ok {
+		if existed {
 			f.sum -= cellHash(uint64(r), old)
 		}
 		f.sum += cellHash(uint64(r), v)
 	}
-	f.regs[r] = v
 }
 
 // HashSum returns the order-independent hash sum over all mapped
@@ -225,67 +240,61 @@ func (f *RegisterFile) HashSum() uint64 {
 	if !f.hashed {
 		f.hashed = true
 		f.sum = 0
-		for r, v := range f.regs {
+		f.m.FlatEach(func(r Reg, v Value) {
 			f.sum += cellHash(uint64(r), v)
-		}
+		})
 	}
 	return f.sum
 }
 
-// Clone returns a deep copy of the register file.
+// Clone returns an independent copy of the register file in O(1),
+// sharing frozen overlay layers with the original.
 func (f *RegisterFile) Clone() *RegisterFile {
-	c := &RegisterFile{regs: make(map[Reg]Value, len(f.regs)), sum: f.sum, hashed: f.hashed}
-	for r, v := range f.regs {
-		c.regs[r] = v
-	}
-	return c
+	return &RegisterFile{m: f.m.Fork(), sum: f.sum, hashed: f.hashed}
 }
 
 // Registers returns the mapped registers in increasing order.
 func (f *RegisterFile) Registers() []Reg {
-	out := make([]Reg, 0, len(f.regs))
-	for r := range f.regs {
-		out = append(out, r)
-	}
+	out := f.m.Keys()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // LowEquiv reports ρ ≃pub ρ′ over the union of both domains (an
 // unmapped register is Pub(0), so it participates as a public zero).
+// The comparison is a two-pass, allocation-free walk: every register
+// mapped on either side is resolved through Read on both.
 func (f *RegisterFile) LowEquiv(o *RegisterFile) bool {
-	seen := make(map[Reg]bool, len(f.regs)+len(o.regs))
-	for r := range f.regs {
-		seen[r] = true
-	}
-	for r := range o.regs {
-		seen[r] = true
-	}
-	for r := range seen {
-		v, w := f.Read(r), o.Read(r)
-		if v.L != w.L {
-			return false
-		}
-		if v.L.IsPublic() && v.W != w.W {
-			return false
-		}
-	}
-	return true
+	return f.lowEquivHalf(o) && o.lowEquivHalf(f)
 }
 
-// Equal reports exact equality over the union of both domains.
-func (f *RegisterFile) Equal(o *RegisterFile) bool {
-	seen := make(map[Reg]bool, len(f.regs)+len(o.regs))
-	for r := range f.regs {
-		seen[r] = true
-	}
-	for r := range o.regs {
-		seen[r] = true
-	}
-	for r := range seen {
-		if f.Read(r) != o.Read(r) {
+func (f *RegisterFile) lowEquivHalf(o *RegisterFile) bool {
+	eq := true
+	f.m.EachKey(func(r Reg) bool {
+		v, w := f.Read(r), o.Read(r)
+		if v.L != w.L || (v.L.IsPublic() && v.W != w.W) {
+			eq = false
 			return false
 		}
-	}
-	return true
+		return true
+	})
+	return eq
+}
+
+// Equal reports exact equality over the union of both domains, as an
+// allocation-free two-pass walk.
+func (f *RegisterFile) Equal(o *RegisterFile) bool {
+	return f.equalHalf(o) && o.equalHalf(f)
+}
+
+func (f *RegisterFile) equalHalf(o *RegisterFile) bool {
+	eq := true
+	f.m.EachKey(func(r Reg) bool {
+		if f.Read(r) != o.Read(r) {
+			eq = false
+			return false
+		}
+		return true
+	})
+	return eq
 }

@@ -121,9 +121,15 @@ func (t *symTransient) assigns(r isa.Reg) bool {
 // solver and concretizer are shared across clones — they are
 // stateless per query (deterministically self-seeding), so concurrent
 // exploration workers may use them without coordination.
+//
+// The configuration is copy-on-write end to end: registers and memory
+// are overlay chains (symx.RegFile / symx.Memory), the RSB journal
+// shares its tail, and the reorder buffer shares its backing slice and
+// transients with clones — so Clone is O(1) and each fork pays only
+// for what it subsequently changes (mirroring the concrete domain).
 type symMachine struct {
 	prog    *isa.Program
-	regs    map[isa.Reg]symx.Expr
+	regs    *symx.RegFile
 	mem     *symx.Memory
 	pc      isa.Addr
 	buf     []*symTransient
@@ -132,54 +138,94 @@ type symMachine struct {
 	pcond   symx.PathCondition
 	retired int
 
+	// bufShared marks the buffer's backing array as possibly aliased
+	// by a clone (the next array write copies it); bufPrivateFrom is
+	// the lowest buffer index whose transient is exclusively owned —
+	// entries below it are copied by edit before in-place mutation.
+	bufShared      bool
+	bufPrivateFrom int
+
 	solver *symx.Solver
 	concr  *symx.Concretizer
+
+	// succ is the single-successor scratch self() returns, so
+	// deterministic steps stay allocation-free (see sched.Machine.Step's
+	// validity contract).
+	succ [1]sched.Successor
 }
 
 // newSymMachine lowers an initial configuration into the domain.
 func newSymMachine(m *SymMachine, solverSeed int64) *symMachine {
 	solver := symx.NewSolver(solverSeed + 1)
 	s := &symMachine{
-		prog:   m.Prog,
-		regs:   make(map[isa.Reg]symx.Expr, len(m.Regs)),
-		mem:    m.Mem.Clone(),
-		pc:     m.PC,
-		base:   1,
-		rsb:    core.NewRSB(core.RSBAttackerChoice),
-		solver: solver,
-		concr:  symx.NewConcretizer(solver),
+		prog:           m.Prog,
+		regs:           symx.NewRegFile(),
+		mem:            m.Mem.Clone(),
+		pc:             m.PC,
+		base:           1,
+		bufPrivateFrom: 1,
+		rsb:            core.NewRSB(core.RSBAttackerChoice),
+		solver:         solver,
+		concr:          symx.NewConcretizer(solver),
 	}
 	for r, e := range m.Regs {
-		s.regs[r] = e
+		s.regs.Write(r, e)
 	}
 	return s
 }
 
-// Clone implements sched.Machine. Expressions are immutable and
-// shared; the path-condition prefix is shared (With copies on
+// Clone implements sched.Machine in O(1). Expressions are immutable
+// and shared; registers, memory, RSB, and the reorder buffer fork
+// copy-on-write; the path-condition prefix is shared (With copies on
 // extension); solver and concretizer are shared by design.
 func (s *symMachine) Clone() sched.Machine {
-	c := &symMachine{
-		prog:    s.prog,
-		regs:    make(map[isa.Reg]symx.Expr, len(s.regs)),
-		mem:     s.mem.Clone(),
-		pc:      s.pc,
-		buf:     make([]*symTransient, len(s.buf)),
-		base:    s.base,
-		rsb:     s.rsb.Clone(),
-		pcond:   s.pcond,
-		retired: s.retired,
-		solver:  s.solver,
-		concr:   s.concr,
+	s.bufShared = true
+	s.bufPrivateFrom = s.base + len(s.buf)
+	return &symMachine{
+		prog:           s.prog,
+		regs:           s.regs.Clone(),
+		mem:            s.mem.Clone(),
+		pc:             s.pc,
+		buf:            s.buf,
+		base:           s.base,
+		bufShared:      true,
+		bufPrivateFrom: s.bufPrivateFrom,
+		rsb:            s.rsb.Clone(),
+		pcond:          s.pcond,
+		retired:        s.retired,
+		solver:         s.solver,
+		concr:          s.concr,
 	}
-	for r, e := range s.regs {
-		c.regs[r] = e
+}
+
+// ownBuf re-owns the buffer's backing array before a write when it may
+// be shared with a clone; only the pointer slice is copied.
+func (s *symMachine) ownBuf() {
+	if !s.bufShared {
+		return
 	}
-	for i, t := range s.buf {
-		cp := *t
-		c.buf[i] = &cp
+	items := make([]*symTransient, len(s.buf), len(s.buf)+8)
+	copy(items, s.buf)
+	s.buf = items
+	s.bufShared = false
+}
+
+// setBuf replaces the entry at buffer index i.
+func (s *symMachine) setBuf(i int, t *symTransient) {
+	s.ownBuf()
+	s.buf[i-s.base] = t
+}
+
+// edit returns the entry at i for in-place mutation, copying it first
+// if it may still be shared with a clone.
+func (s *symMachine) edit(i int) *symTransient {
+	s.ownBuf()
+	if i >= s.bufPrivateFrom {
+		return s.buf[i-s.base]
 	}
-	return c
+	cp := *s.buf[i-s.base]
+	s.buf[i-s.base] = &cp
+	return &cp
 }
 
 // ---------------------------------------------------------------------
@@ -206,6 +252,7 @@ func (s *symMachine) get(i int) (*symTransient, bool) {
 }
 
 func (s *symMachine) append(t *symTransient) int {
+	s.ownBuf()
 	s.buf = append(s.buf, t)
 	return s.base + len(s.buf) - 1
 }
@@ -322,7 +369,7 @@ func (s *symMachine) resolveReg(i int, r isa.Reg) (symx.Expr, bool) {
 			return nil, false
 		}
 	}
-	if e, ok := s.regs[r]; ok {
+	if e, ok := s.regs.Read(r); ok {
 		return e, true
 	}
 	return symx.CW(0), true
@@ -355,9 +402,11 @@ func addrExpr(args []symx.Expr) symx.Expr {
 // Directive application (sched.Machine.Step).
 // ---------------------------------------------------------------------
 
-// self wraps the in-place-mutated receiver as the single successor.
+// self wraps the in-place-mutated receiver as the single successor,
+// reusing the machine's scratch slot.
 func (s *symMachine) self(d core.Directive, obs ...core.Observation) ([]sched.Successor, error) {
-	return []sched.Successor{{M: s, D: d, Obs: obs}}, nil
+	s.succ[0] = sched.Successor{M: s, D: d, Obs: obs}
+	return s.succ[:], nil
 }
 
 // Step implements sched.Machine: one directive of the speculative
@@ -506,7 +555,7 @@ func (s *symMachine) execOp(d core.Directive, t *symTransient) ([]sched.Successo
 	if !ok {
 		return nil, symStall("operands unresolved at %d", d.I)
 	}
-	s.buf[d.I-s.base] = &symTransient{kind: core.TValue, dst: t.dst, val: symx.Apply(t.op, args...)}
+	s.setBuf(d.I, &symTransient{kind: core.TValue, dst: t.dst, val: symx.Apply(t.op, args...)})
 	return s.self(d)
 }
 
@@ -582,7 +631,7 @@ func (s *symMachine) execJmpi(d core.Directive, t *symTransient) ([]sched.Succes
 func (s *symMachine) settleControl(i int, actual isa.Addr, l mem.Label) []core.Observation {
 	t, _ := s.get(i)
 	if actual == t.guess {
-		s.buf[i-s.base] = &symTransient{kind: core.TJump, target: actual}
+		s.setBuf(i, &symTransient{kind: core.TJump, target: actual})
 		return []core.Observation{core.JumpObs(actual, l)}
 	}
 	s.truncateFrom(i)
@@ -622,17 +671,17 @@ func (s *symMachine) execLoad(d core.Directive, t *symTransient) ([]sched.Succes
 	l := ae.Label()
 	if fwdFrom != core.NoDep {
 		// load-execute-forward
-		s.buf[d.I-s.base] = &symTransient{
+		s.setBuf(d.I, &symTransient{
 			kind: core.TValue, dst: t.dst, val: fwdVal,
 			fromLoad: true, dep: fwdFrom, dataAddr: aw, pp: t.pp,
-		}
+		})
 		return s.self(d, core.FwdObs(aw, l))
 	}
 	// load-execute-nodep
-	s.buf[d.I-s.base] = &symTransient{
+	s.setBuf(d.I, &symTransient{
 		kind: core.TValue, dst: t.dst, val: s.mem.Read(aw),
 		fromLoad: true, dep: core.NoDep, dataAddr: aw, pp: t.pp,
-	}
+	})
 	return s.self(d, core.ReadObs(aw, l))
 }
 
@@ -652,6 +701,7 @@ func (s *symMachine) stepExecValue(d core.Directive) ([]sched.Successor, error) 
 		return nil, symStall("store data operand unresolved")
 	}
 	// store-execute-value
+	t = s.edit(d.I)
 	t.valKnown = true
 	t.sval = v
 	return s.self(d)
@@ -695,6 +745,7 @@ func (s *symMachine) stepExecAddr(d core.Directive) ([]sched.Successor, error) {
 			break
 		}
 	}
+	t = s.edit(d.I)
 	t.addrKnown = true
 	t.saddr = aw
 	t.saddrL = l
@@ -717,7 +768,7 @@ func (s *symMachine) stepRetire(d core.Directive) ([]sched.Successor, error) {
 	}
 	switch t.kind {
 	case core.TValue:
-		s.regs[t.dst] = t.val
+		s.regs.Write(t.dst, t.val)
 		s.popMinN(1)
 		s.retired++
 		return s.self(d)
@@ -739,7 +790,7 @@ func (s *symMachine) stepRetire(d core.Directive) ([]sched.Successor, error) {
 		if !ok1 || !ok2 || rsp.kind != core.TValue || st.kind != core.TStore || !st.resolved() {
 			return nil, symStall("call expansion not fully resolved")
 		}
-		s.regs[mem.RSP] = rsp.val
+		s.regs.Write(mem.RSP, rsp.val)
 		s.mem.Write(st.saddr, st.sval)
 		s.popMinN(3)
 		s.retired++
@@ -751,7 +802,7 @@ func (s *symMachine) stepRetire(d core.Directive) ([]sched.Successor, error) {
 		if !ok1 || !ok2 || !ok3 || tmp.kind != core.TValue || rsp.kind != core.TValue || jmp.kind != core.TJump {
 			return nil, symStall("ret expansion not fully resolved")
 		}
-		s.regs[mem.RSP] = rsp.val
+		s.regs.Write(mem.RSP, rsp.val)
 		s.popMinN(4)
 		s.retired++
 		return s.self(d)
@@ -806,13 +857,11 @@ func (s *symMachine) Fingerprint() uint64 {
 	mix(uint64(s.pc))
 	mix(uint64(s.retired))
 	mix(uint64(s.base))
-	// Registers and memory: order-independent sums over the cells.
-	var sum uint64
-	for r, e := range s.regs {
-		sum += mem.Mix64(mem.Mix64(mem.HashSeed^uint64(r)) ^ exprHash(e))
-	}
-	mix(sum)
-	mix(s.mem.HashSum(exprHash))
+	// Registers and memory: order-independent sums over the cells,
+	// maintained incrementally by the copy-on-write containers — O(1)
+	// here instead of re-hashing every expression tree per state.
+	mix(s.regs.HashSum())
+	mix(s.mem.HashSum())
 	for _, t := range s.buf {
 		mix(t.hash())
 	}

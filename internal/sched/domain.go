@@ -101,7 +101,10 @@ type Machine interface {
 	Witness() map[string]uint64
 	// Step applies one directive. A nil error means it applied, with
 	// the successor states returned; an error means the directive
-	// stalls in this configuration and the machine is unchanged.
+	// stalls in this configuration and the machine is unchanged. The
+	// returned slice is only valid until the next Step call on any
+	// machine of this lineage — implementations may return an internal
+	// scratch buffer so deterministic steps stay allocation-free.
 	Step(d core.Directive) ([]Successor, error)
 }
 
@@ -111,9 +114,12 @@ func Concrete(m *core.Machine) Machine { return &concreteMachine{m: m} }
 
 // concreteMachine adapts *core.Machine: every directive is a single
 // deterministic successor (the paper's small-step relation), and the
-// views project the Transient structs directly.
+// views project the Transient structs directly. succ is the
+// single-successor scratch Step returns, so the hot path performs no
+// per-step slice allocation.
 type concreteMachine struct {
-	m *core.Machine
+	m    *core.Machine
+	succ [1]Successor
 }
 
 func (c *concreteMachine) Clone() Machine { return &concreteMachine{m: c.m.Clone()} }
@@ -182,5 +188,6 @@ func (c *concreteMachine) Step(d core.Directive) ([]Successor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []Successor{{M: c, D: d, Obs: obs}}, nil
+	c.succ[0] = Successor{M: c, D: d, Obs: obs}
+	return c.succ[:], nil
 }

@@ -282,33 +282,52 @@ func NewExplorer(opts Options) (*Explorer, error) {
 	return &Explorer{opts: opts}, nil
 }
 
-// state is one node of the exploration tree.
+// state is one node of the exploration tree. The schedule and trace
+// are immutable parent-pointer chains (see chain.go): forks share the
+// prefix structurally instead of copying it, so cloning a state costs
+// O(1) plus the machine's own copy-on-write fork. Nodes are pooled —
+// use newState/releaseState, never allocate directly.
 type state struct {
 	m     Machine
-	sched core.Schedule
-	trace core.Trace
-	// tracePP records, per trace entry, the program point of the
-	// instruction that produced the observation — so violations point
-	// at the leaking instruction, not the fetch head at detection time.
-	tracePP []isa.Addr
+	sched *schedNode
+	// trace is the observation chain; each node carries the program
+	// point of the instruction that produced the observation — so
+	// violations point at the leaking instruction, not the fetch head
+	// at detection time.
+	trace *traceNode
+	// secret is the oldest secret-labeled observation on the trace, or
+	// nil — maintained incrementally as observations append, replacing
+	// the full-trace FirstSecret scan per explored state.
+	secret *traceNode
 	// pendingFwd marks load indices whose forwarding fork has already
 	// been taken in this state (so re-deciding after a partial store
-	// resolution re-forks correctly but not infinitely).
+	// resolution re-forks correctly but not infinitely). Lazily
+	// allocated: most states never fork on forwarding.
 	pendingFwd map[int]bool
 }
 
 func (s *state) clone() *state {
-	c := &state{
-		m:          s.m.Clone(),
-		sched:      append(core.Schedule(nil), s.sched...),
-		trace:      append(core.Trace(nil), s.trace...),
-		tracePP:    append([]isa.Addr(nil), s.tracePP...),
-		pendingFwd: make(map[int]bool, len(s.pendingFwd)),
-	}
-	for k, v := range s.pendingFwd {
-		c.pendingFwd[k] = v
+	c := newState()
+	c.m = s.m.Clone()
+	c.sched, c.trace, c.secret = s.sched, s.trace, s.secret
+	if len(s.pendingFwd) > 0 {
+		if c.pendingFwd == nil {
+			c.pendingFwd = make(map[int]bool, len(s.pendingFwd))
+		}
+		for k, v := range s.pendingFwd {
+			c.pendingFwd[k] = v
+		}
 	}
 	return c
+}
+
+// markPendingFwd records that the load at buffer index i has taken its
+// forwarding fork, allocating the map on first use.
+func (s *state) markPendingFwd(i int) {
+	if s.pendingFwd == nil {
+		s.pendingFwd = make(map[int]bool, 2)
+	}
+	s.pendingFwd[i] = true
 }
 
 // Explore runs the worst-case schedules from the concrete machine's
@@ -324,7 +343,8 @@ func (e *Explorer) ExploreMachine(m Machine) Result {
 	if e.opts.DedupEntries > 0 {
 		dedup = newDedupTable(e.opts.DedupEntries)
 	}
-	root := &state{m: m.Clone(), pendingFwd: make(map[int]bool)}
+	root := newState()
+	root.m = m.Clone()
 	if e.opts.Workers > 1 {
 		return exploreParallel(&e.opts, dedup, root)
 	}
@@ -336,6 +356,9 @@ func exploreSerial(opts *Options, dedup *dedupTable, root *state) Result {
 	res := Result{Workers: 1}
 	stopped := false
 	stack := []*state{root}
+	// Successors land directly on the stack as advance produces them
+	// (same order as before: the last-emitted arm is explored first).
+	emit := func(s *state) { stack = append(stack, s) }
 	for len(stack) > 0 {
 		if res.States >= opts.MaxStates {
 			res.Truncated = true
@@ -349,7 +372,7 @@ func exploreSerial(opts *Options, dedup *dedupTable, root *state) Result {
 		stack = stack[:len(stack)-1]
 		res.States++
 
-		done, deduped, viol, forks := advance(opts, dedup, st)
+		done, deduped, viol := advance(opts, dedup, st, emit)
 		if viol != nil {
 			res.Violations = append(res.Violations, *viol)
 			if opts.OnViolation != nil && !opts.OnViolation(*viol) {
@@ -361,6 +384,7 @@ func exploreSerial(opts *Options, dedup *dedupTable, root *state) Result {
 		}
 		if done {
 			res.Paths++
+			releaseState(st)
 			if stopped {
 				res.Interrupted = true
 				break
@@ -368,9 +392,10 @@ func exploreSerial(opts *Options, dedup *dedupTable, root *state) Result {
 			if opts.StopAtFirst && len(res.Violations) > 0 {
 				break
 			}
-			continue
 		}
-		stack = append(stack, forks...)
+	}
+	for _, s := range stack {
+		releaseState(s)
 	}
 	return res
 }
@@ -380,58 +405,68 @@ func exploreSerial(opts *Options, dedup *dedupTable, root *state) Result {
 // no explorer-level mutable state, so serial and parallel drivers share
 // it. done=true means the path is finished (with viol set if it ended
 // in a violation, deduped set if it was pruned as a revisited
-// configuration); otherwise forks holds the successor states (one for
-// deterministic steps, several at fork points).
-func advance(opts *Options, dedup *dedupTable, st *state) (done, deduped bool, viol *Violation, forks []*state) {
+// configuration); otherwise the successor states (one for deterministic
+// steps, several at fork points) are delivered through emit, in
+// deterministic order, avoiding a per-step slice allocation.
+func advance(opts *Options, dedup *dedupTable, st *state, emit func(*state)) (done, deduped bool, viol *Violation) {
 	m := st.m
 
-	// Leak check on everything observed so far.
-	if i := st.trace.FirstSecret(); i >= 0 {
+	// Leak check on everything observed so far. The first secret
+	// observation is tracked incrementally as the trace grows (see
+	// apply), so the check is O(1); the trace prefix up to the leak is
+	// materialized only now that a violation is actually recorded.
+	if st.secret != nil {
+		prefix := st.secret.materialize()
 		v := Violation{
-			Obs:     st.trace[i],
-			Trace:   append(core.Trace(nil), st.trace[:i+1]...),
-			Kind:    classify(m, st.trace, i),
-			PC:      st.tracePP[i],
+			Obs:     st.secret.o,
+			Trace:   prefix,
+			Kind:    classify(m, prefix, len(prefix)-1),
+			PC:      st.secret.pp,
 			Sources: specSources(m),
 			Model:   m.Witness(),
 		}
 		if opts.KeepSchedules {
-			v.Schedule = append(core.Schedule(nil), st.sched...)
+			v.Schedule = st.sched.materialize()
 		}
-		return true, false, &v, nil
+		return true, false, &v
 	}
 	in, fetchable := m.Instr()
 	if (m.BufLen() == 0 && !fetchable) || m.RetiredCount() >= opts.MaxRetired {
-		return true, false, nil, nil
+		return true, false, nil
 	}
 	// Dedup check after the leak and termination checks: a pruned
 	// state is always secret-free so far, so its subtree's violations
 	// are exactly those reachable from the first-visited equivalent
 	// configuration.
 	if dedup != nil && dedup.seen(m.Fingerprint()) {
-		return true, true, nil, nil
+		return true, true, nil
 	}
 
 	// Fetch phase: eager until the bound.
 	if m.BufLen() < opts.Bound && fetchable {
 		switch in.Kind {
 		case isa.KBr:
-			// Fork both guesses; both arms delay branch execution.
-			a, b := st, st.clone()
-			fa := apply(a, core.FetchGuess(true))
-			fb := apply(b, core.FetchGuess(false))
-			if fa != nil && fb != nil {
-				return false, false, nil, append(fa, fb...)
+			// Fork both guesses; both arms delay branch execution. The
+			// fetch either applies in both worlds or stalls in both (the
+			// directive checks are guess-independent), so the clone is
+			// made only once the first arm has succeeded.
+			b := st.clone()
+			if !apply(opts, st, core.FetchGuess(true), emit) {
+				releaseState(b)
+				return true, false, nil
 			}
-			return true, false, nil, nil
+			if !apply(opts, b, core.FetchGuess(false), emit) {
+				releaseState(b)
+			}
+			return false, false, nil
 		case isa.KJmpi:
 			// The tool follows the architecturally correct target
 			// (it does not model indirect-jump speculation, §4).
 			if target, ok := m.PeekJmpi(in); ok {
-				if forks := apply(st, core.FetchTarget(target)); forks != nil {
-					return false, false, nil, forks
+				if apply(opts, st, core.FetchTarget(target), emit) {
+					return false, false, nil
 				}
-				return true, false, nil, nil
+				return true, false, nil
 			}
 			// Target operands pending: fall through to execution.
 		case isa.KRet:
@@ -439,28 +474,28 @@ func advance(opts *Options, dedup *dedupTable, st *state) (done, deduped bool, v
 				// The tool does not model RSB underflow attacks;
 				// predict through the in-memory return address.
 				if target, ok := m.PeekRet(); ok {
-					if forks := apply(st, core.FetchTarget(target)); forks != nil {
-						return false, false, nil, forks
+					if apply(opts, st, core.FetchTarget(target), emit) {
+						return false, false, nil
 					}
-					return true, false, nil, nil
+					return true, false, nil
 				}
 				break // execute pending work first
 			}
-			if forks := apply(st, core.Fetch()); forks != nil {
-				return false, false, nil, forks
+			if apply(opts, st, core.Fetch(), emit) {
+				return false, false, nil
 			}
-			return true, false, nil, nil
+			return true, false, nil
 		default:
-			if forks := apply(st, core.Fetch()); forks != nil {
-				return false, false, nil, forks
+			if apply(opts, st, core.Fetch(), emit) {
+				return false, false, nil
 			}
-			return true, false, nil, nil
+			return true, false, nil
 		}
 	}
 
 	// Execute phase: oldest actionable instruction first.
-	if forks, acted := executePhase(opts, st); acted {
-		return false, false, nil, forks
+	if executePhase(opts, st, emit) {
+		return false, false, nil
 	}
 
 	// Nothing else is actionable: retire if possible, otherwise force
@@ -471,11 +506,11 @@ func advance(opts *Options, dedup *dedupTable, st *state) (done, deduped bool, v
 		// Empty buffer and nothing fetchable at bound>0: halt was
 		// handled above, so this is a wedged path (e.g. jmpi whose
 		// operands can never resolve).
-		return true, false, nil, nil
+		return true, false, nil
 	}
 	if t.Resolved {
-		if forks := apply(st, core.Retire()); forks != nil {
-			return false, false, nil, forks
+		if apply(opts, st, core.Retire(), emit) {
+			return false, false, nil
 		}
 		// A call/ret marker retires only with its whole expansion
 		// resolved: force the first unresolved member.
@@ -484,41 +519,43 @@ func advance(opts *Options, dedup *dedupTable, st *state) (done, deduped bool, v
 			if !ok || u.Resolved {
 				continue
 			}
-			if forks := forceOne(st, j, u); forks != nil {
-				return false, false, nil, forks
+			if forceOne(opts, st, j, u, emit) {
+				return false, false, nil
 			}
 			break
 		}
-		return true, false, nil, nil
+		return true, false, nil
 	}
-	if forks := forceOne(st, i, t); forks != nil {
-		return false, false, nil, forks
+	if forceOne(opts, st, i, t, emit) {
+		return false, false, nil
 	}
-	return true, false, nil, nil
+	return true, false, nil
 }
 
 // forceOne issues the directive that makes progress on an unresolved
 // instruction regardless of the deferral rules — used when nothing can
 // proceed otherwise (delayed branches at the head, deferred store
 // addresses blocking retirement, call/ret expansion members).
-func forceOne(st *state, i int, t TransientView) []*state {
+func forceOne(opts *Options, st *state, i int, t TransientView, emit func(*state)) bool {
 	switch t.Kind {
 	case core.TBr, core.TJmpi, core.TLoad, core.TOp:
-		return apply(st, core.Execute(i))
+		return apply(opts, st, core.Execute(i), emit)
 	case core.TStore:
 		if !t.ValKnown {
-			return apply(st, core.ExecuteValue(i))
+			return apply(opts, st, core.ExecuteValue(i), emit)
 		}
-		return apply(st, core.ExecuteAddr(i))
+		return apply(opts, st, core.ExecuteAddr(i), emit)
 	}
-	return nil
+	return false
 }
 
 // executePhase scans the buffer in ascending order for the first
 // eagerly executable instruction, applying the deferral rules for
 // branches (always delayed) and store addresses (delayed under
 // forwarding-hazard mode). Loads fork over forwarding outcomes.
-func executePhase(opts *Options, st *state) ([]*state, bool) {
+// Successors are delivered through emit; the return reports whether a
+// step was taken.
+func executePhase(opts *Options, st *state, emit func(*state)) bool {
 	m := st.m
 	for i := m.BufMin(); i <= m.BufMax(); i++ {
 		t, ok := m.View(i)
@@ -530,8 +567,8 @@ func executePhase(opts *Options, st *state) ([]*state, bool) {
 		}
 		switch t.Kind {
 		case core.TOp:
-			if forks := apply(st, core.Execute(i)); forks != nil {
-				return forks, true
+			if apply(opts, st, core.Execute(i), emit) {
+				return true
 			}
 		case core.TJmpi:
 			// Indirect jumps execute as soon as their target operands
@@ -540,28 +577,27 @@ func executePhase(opts *Options, st *state) ([]*state, bool) {
 			// the speculative stale-return window of the Fig. 10 gadget
 			// — the transient return must happen *before* the pending
 			// store address resolves and flags the hazard.
-			if forks := apply(st, core.Execute(i)); forks != nil {
-				return forks, true
+			if apply(opts, st, core.Execute(i), emit) {
+				return true
 			}
 		case core.TBr:
 			continue // branches resolve in the second pass below
 		case core.TStore:
 			if !t.ValKnown {
-				if forks := apply(st, core.ExecuteValue(i)); forks != nil {
-					return forks, true
+				if apply(opts, st, core.ExecuteValue(i), emit) {
+					return true
 				}
 				continue
 			}
 			if !t.AddrKnown && !opts.ForwardHazards {
-				if forks := apply(st, core.ExecuteAddr(i)); forks != nil {
-					return forks, true
+				if apply(opts, st, core.ExecuteAddr(i), emit) {
+					return true
 				}
 			}
 			continue
 		case core.TLoad:
-			forks, acted := loadFork(opts, st, i)
-			if acted {
-				return forks, true
+			if loadFork(opts, st, i, emit) {
+				return true
 			}
 		}
 	}
@@ -576,11 +612,11 @@ func executePhase(opts *Options, st *state) ([]*state, bool) {
 		if !ok || t.Kind != core.TBr || m.FenceBefore(i) {
 			continue
 		}
-		if forks := apply(st, core.Execute(i)); forks != nil {
-			return forks, true
+		if apply(opts, st, core.Execute(i), emit) {
+			return true
 		}
 	}
-	return nil, false
+	return false
 }
 
 // loadFork decides how the load at index i resolves. Without
@@ -589,7 +625,7 @@ func executePhase(opts *Options, st *state) ([]*state, bool) {
 // arm executes the load immediately (reading stale memory or
 // forwarding from an already-resolved store), and one arm per pending
 // store resolves that store's address first, then re-decides.
-func loadFork(opts *Options, st *state, i int) ([]*state, bool) {
+func loadFork(opts *Options, st *state, i int, emit func(*state)) bool {
 	m := st.m
 	var pending []int
 	if opts.ForwardHazards && !st.pendingFwd[i] {
@@ -600,72 +636,102 @@ func loadFork(opts *Options, st *state, i int) ([]*state, bool) {
 		}
 	}
 	if len(pending) == 0 {
-		if forks := apply(st, core.Execute(i)); forks != nil {
-			return forks, true
-		}
-		return nil, false
+		return apply(opts, st, core.Execute(i), emit)
 	}
-	var forks []*state
+	acted := false
 	// Arm 0: execute the load now, skipping the pending stores.
 	now := st.clone()
-	now.pendingFwd[i] = true
-	if f := apply(now, core.Execute(i)); f != nil {
-		forks = append(forks, f...)
+	now.markPendingFwd(i)
+	if apply(opts, now, core.Execute(i), emit) {
+		acted = true
+	} else {
+		releaseState(now)
 	}
 	// One arm per pending store: resolve its address first. The load
 	// re-decides on the next visit (and may fork again over the
 	// remaining pending stores).
 	for _, j := range pending {
 		arm := st.clone()
-		if f := apply(arm, core.ExecuteAddr(j)); f != nil {
-			forks = append(forks, f...)
+		if apply(opts, arm, core.ExecuteAddr(j), emit) {
+			acted = true
+		} else {
+			releaseState(arm)
 		}
 	}
-	return forks, len(forks) > 0
+	if acted {
+		// Every live arm is a clone; the parent node itself was not
+		// emitted and the path is not "done", so recycle it here.
+		releaseState(st)
+	}
+	return acted
 }
 
 // apply runs d on the state's machine, threading schedule, trace, and
-// source program points through to each successor; nil means the
+// source program points through to each successor; false means the
 // directive stalled (the path cannot continue this way). Deterministic
-// steps mutate st in place and return it; at a domain fork each
-// successor gets an independent copy of the bookkeeping, with the
-// arm-disambiguated directive recorded. A rollback invalidates the
-// load-fork bookkeeping, since buffer indices are reused by re-fetched
-// instructions.
-func apply(st *state, d core.Directive) []*state {
+// steps mutate st in place and emit it; at a domain fork the chains
+// are shared structurally — each successor just pushes its own
+// arm-disambiguated directive onto the common prefix and is emitted in
+// arm order. A rollback invalidates the load-fork bookkeeping, since
+// buffer indices are reused by re-fetched instructions.
+//
+// The schedule chain is extended only when some consumer exists —
+// KeepSchedules (violation schedules) or a parallel run (whose
+// deterministic merge keys are schedule prefixes); a serial counting
+// exploration skips the per-step node entirely.
+func apply(opts *Options, st *state, d core.Directive, emit func(*state)) bool {
 	pp := sourcePoint(st.m, d)
 	succs, err := st.m.Step(d)
 	if err != nil || len(succs) == 0 {
-		return nil
+		return false
 	}
-	out := make([]*state, len(succs))
+	recordSched := opts.KeepSchedules || opts.Workers > 1
+	// Pre-fork bookkeeping: every arm extends these chains (immutable,
+	// so sharing them with an already-emitted arm is safe). The
+	// pendingFwd map is mutable and stays owned by st — the first arm —
+	// which emit may hand to another worker immediately; snapshot it
+	// before any arm is published so later arms never read a map a
+	// thief might already be mutating.
+	baseSched, baseTrace, baseSecret := st.sched, st.trace, st.secret
+	var basePF map[int]bool
+	if len(succs) > 1 && len(st.pendingFwd) > 0 {
+		basePF = make(map[int]bool, len(st.pendingFwd))
+		for idx, v := range st.pendingFwd {
+			basePF[idx] = v
+		}
+	}
 	for k, sc := range succs {
 		ns := st
-		if len(succs) > 1 {
-			ns = &state{
-				m:          sc.M,
-				sched:      append(core.Schedule(nil), st.sched...),
-				trace:      append(core.Trace(nil), st.trace...),
-				tracePP:    append([]isa.Addr(nil), st.tracePP...),
-				pendingFwd: make(map[int]bool, len(st.pendingFwd)),
+		if k > 0 {
+			ns = newState()
+			if len(basePF) > 0 {
+				if ns.pendingFwd == nil {
+					ns.pendingFwd = make(map[int]bool, len(basePF))
+				}
+				for idx, v := range basePF {
+					ns.pendingFwd[idx] = v
+				}
 			}
-			for idx, v := range st.pendingFwd {
-				ns.pendingFwd[idx] = v
-			}
-		} else {
-			ns.m = sc.M
 		}
-		ns.sched = append(ns.sched, sc.D)
+		ns.m = sc.M
+		if recordSched {
+			ns.sched = baseSched.push(sc.D)
+		}
+		ns.trace, ns.secret = baseTrace, baseSecret
 		for _, o := range sc.Obs {
-			ns.trace = append(ns.trace, o)
-			ns.tracePP = append(ns.tracePP, pp)
+			ns.trace = ns.trace.push(o, pp)
+			if ns.secret == nil && o.Secret() {
+				ns.secret = ns.trace
+			}
 			if o.Kind == core.ORollback {
-				ns.pendingFwd = make(map[int]bool)
+				// Drop (never clear in place: later arms copy from the
+				// shared base map) the load-fork bookkeeping.
+				ns.pendingFwd = nil
 			}
 		}
-		out[k] = ns
+		emit(ns)
 	}
-	return out
+	return true
 }
 
 // sourcePoint resolves, before the directive runs, the program point

@@ -108,6 +108,16 @@ type keyedViolation struct {
 	v   Violation
 }
 
+// scheduleKey materializes the merge key for a violation recorded at
+// st: the violation's own schedule when KeepSchedules already paid for
+// it, otherwise the state's schedule chain rendered flat.
+func scheduleKey(st *state, v *Violation) core.Schedule {
+	if v.Schedule != nil {
+		return v.Schedule
+	}
+	return st.sched.materialize()
+}
+
 // compareDirectives orders directives by kind, then by their operand
 // fields — an arbitrary but total and stable order.
 func compareDirectives(a, b core.Directive) int {
@@ -187,6 +197,7 @@ func exploreParallel(opts *Options, dedup *dedupTable, root *state) Result {
 	// partial frontier is enough to start.
 	const seedStatesCap = 1024
 	frontier := []*state{root}
+	seedEmit := func(s *state) { frontier = append(frontier, s) }
 	for len(frontier) > 0 && len(frontier) < workers && res.States < seedStatesCap {
 		if res.States >= opts.MaxStates {
 			res.Truncated = true
@@ -200,9 +211,9 @@ func exploreParallel(opts *Options, dedup *dedupTable, root *state) Result {
 		frontier = frontier[1:]
 		res.States++
 
-		done, deduped, viol, forks := advance(opts, dedup, st)
+		done, deduped, viol := advance(opts, dedup, st, seedEmit)
 		if viol != nil {
-			collected = append(collected, keyedViolation{key: st.sched, v: *viol})
+			collected = append(collected, keyedViolation{key: scheduleKey(st, viol), v: *viol})
 			if opts.OnViolation != nil && !opts.OnViolation(*viol) {
 				stopped = true
 			}
@@ -212,6 +223,7 @@ func exploreParallel(opts *Options, dedup *dedupTable, root *state) Result {
 		}
 		if done {
 			res.Paths++
+			releaseState(st)
 			if stopped {
 				res.Interrupted = true
 				return assemble(res, collected, opts)
@@ -219,9 +231,7 @@ func exploreParallel(opts *Options, dedup *dedupTable, root *state) Result {
 			if opts.StopAtFirst && len(collected) > 0 {
 				return assemble(res, collected, opts)
 			}
-			continue
 		}
-		frontier = append(frontier, forks...)
 	}
 	if len(frontier) == 0 {
 		return assemble(res, collected, opts)
@@ -257,6 +267,13 @@ func exploreParallel(opts *Options, dedup *dedupTable, root *state) Result {
 		go func(id int) {
 			defer wg.Done()
 			self := deques[id]
+			// Forks land on the owner's deque as advance produces them;
+			// pending counts them before the parent state is retired, so
+			// the all-idle exit condition never fires spuriously.
+			emit := func(f *state) {
+				pending.Add(1)
+				self.push(f)
+			}
 			idle := 0
 			for !stop.Load() {
 				st := self.pop()
@@ -291,7 +308,7 @@ func exploreParallel(opts *Options, dedup *dedupTable, root *state) Result {
 					pending.Add(-1)
 					return
 				}
-				done, deduped, viol, forks := advance(opts, dedup, st)
+				done, deduped, viol := advance(opts, dedup, st, emit)
 				if viol != nil {
 					// Record, callback, and stop are one atomic decision
 					// under violMu: a violation observed after the stop
@@ -299,9 +316,10 @@ func exploreParallel(opts *Options, dedup *dedupTable, root *state) Result {
 					// contains a finding the OnViolation stream did not
 					// deliver, and StopAtFirst fires the callback for
 					// exactly the one finding that survives.
+					key := scheduleKey(st, viol)
 					violMu.Lock()
 					if !stop.Load() {
-						workerViols[id] = append(workerViols[id], keyedViolation{key: st.sched, v: *viol})
+						workerViols[id] = append(workerViols[id], keyedViolation{key: key, v: *viol})
 						if opts.OnViolation != nil && !opts.OnViolation(*viol) {
 							interrupted.Store(true)
 							stop.Store(true)
@@ -317,11 +335,7 @@ func exploreParallel(opts *Options, dedup *dedupTable, root *state) Result {
 				}
 				if done {
 					pathsN.Add(1)
-				} else {
-					for _, f := range forks {
-						pending.Add(1)
-						self.push(f)
-					}
+					releaseState(st)
 				}
 				pending.Add(-1)
 			}

@@ -1,0 +1,17 @@
+package symx
+
+import "pitchfork/internal/mem"
+
+// The symbolic containers (Memory, RegFile) reuse internal/mem's
+// generic copy-on-write overlay chain (mem.CowMap) with expression
+// values, so the chain logic — lookup precedence, fork freezing,
+// depth-bounded flattening — has exactly one implementation.
+
+// chainCellHash is the shared per-cell hash of the incremental,
+// order-independent container sums: Mix64(Mix64(seed ^ key) ^
+// Fingerprint(expr)) — kept bit-identical to the full-walk formula the
+// symbolic configuration fingerprint used before the containers went
+// copy-on-write.
+func chainCellHash(key uint64, e Expr) uint64 {
+	return mem.Mix64(mem.Mix64(mem.HashSeed^key) ^ Fingerprint(e))
+}

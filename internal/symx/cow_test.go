@@ -1,0 +1,107 @@
+package symx
+
+import (
+	"testing"
+
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+)
+
+// TestSymMemoryCloneIndependence forks the symbolic memory across
+// chains deeper than the flatten threshold and checks writes never
+// cross a fork in either direction.
+func TestSymMemoryCloneIndependence(t *testing.T) {
+	m := NewMemory()
+	for i := 0; i < 8; i++ {
+		m.Write(mem.Word(i), CW(uint64(i)))
+	}
+	x := NewVar("x", mem.Secret)
+	cur := m
+	for g := 0; g < 3*mem.MaxChainDepth; g++ {
+		c := cur.Clone()
+		before := Fingerprint(cur.Read(mem.Word(g % 8)))
+		c.Write(mem.Word(g%8), x)
+		cur.Write(mem.Word(100+g), CW(uint64(g)))
+		if c.Contains(mem.Word(100 + g)) {
+			t.Fatalf("generation %d: parent's post-fork write visible in child", g)
+		}
+		if Fingerprint(cur.Read(mem.Word(g%8))) != before {
+			t.Fatalf("generation %d: child's write visible in parent", g)
+		}
+		cur = c
+	}
+	if len(cur.SecretAddresses()) != 8 {
+		t.Fatalf("SecretAddresses = %v, want all 8 rewritten cells", cur.SecretAddresses())
+	}
+}
+
+// TestSymMemoryHashSumIncrementalMatchesFresh checks the incremental
+// HashSum maintained through clone chains equals a from-scratch
+// rebuild — the fingerprint-stability requirement for the dedup table.
+func TestSymMemoryHashSumIncrementalMatchesFresh(t *testing.T) {
+	m := NewMemory()
+	_ = m.HashSum() // activate incremental maintenance before any write
+	x := NewVar("x", mem.Public)
+	for i := 0; i < 6; i++ {
+		m.Write(mem.Word(i), Apply(eqOp(), x, CW(uint64(i))))
+	}
+	for g := 0; g < 2*mem.MaxChainDepth; g++ {
+		m = m.Clone()
+		m.Write(mem.Word(g%6), CW(uint64(g)))
+	}
+	fresh := NewMemory()
+	for _, a := range m.Addresses() {
+		fresh.Write(a, m.Read(a))
+	}
+	if m.HashSum() != fresh.HashSum() {
+		t.Fatalf("incremental HashSum %#x != fresh %#x", m.HashSum(), fresh.HashSum())
+	}
+}
+
+// TestRegFileCloneIndependenceAndHash mirrors the memory tests for the
+// symbolic register file.
+func TestRegFileCloneIndependenceAndHash(t *testing.T) {
+	f := NewRegFile()
+	_ = f.HashSum()
+	x := NewVar("x", mem.Secret)
+	for r := 0; r < 6; r++ {
+		f.Write(isa.Reg(r), CW(uint64(r)))
+	}
+	parent := f
+	for g := 0; g < 2*mem.MaxChainDepth; g++ {
+		c := parent.Clone()
+		c.Write(isa.Reg(g%6), x)
+		parent.Write(isa.Reg((g+1)%6), CW(uint64(100+g)))
+		if e, ok := c.Read(isa.Reg((g + 1) % 6)); ok {
+			if cv, conc := e.Concrete(); conc && cv.W == uint64(100+g) && (g+1)%6 != g%6 {
+				t.Fatalf("generation %d: parent write visible in child", g)
+			}
+		}
+		parent = c
+	}
+	fresh := NewRegFile()
+	for r := 0; r < 6; r++ {
+		e, _ := parent.Read(isa.Reg(r))
+		fresh.Write(isa.Reg(r), e)
+	}
+	if parent.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", parent.Len())
+	}
+	if parent.HashSum() != fresh.HashSum() {
+		t.Fatalf("incremental HashSum %#x != fresh %#x", parent.HashSum(), fresh.HashSum())
+	}
+}
+
+// TestOpEvalAllocationFree pins the solver hot path: evaluating an
+// expression tree under a model must not allocate (Op.Eval used to
+// build a value slice per node per probe).
+func TestOpEvalAllocationFree(t *testing.T) {
+	x := NewVar("x", mem.Public)
+	e := Apply(eqOp(), Apply(eqOp(), x, CW(4)), CW(0))
+	env := Env{"x": 7}
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = e.Eval(env)
+	}); avg != 0 {
+		t.Fatalf("Op.Eval allocated %.1f objects per run, want 0", avg)
+	}
+}

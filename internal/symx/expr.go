@@ -109,15 +109,25 @@ func (o Op) Label() mem.Label {
 	return l
 }
 
+// opArgBuf sizes the stack buffer Eval and Concrete use for operand
+// values: opcodes are at most ternary, so evaluation of a node never
+// allocates. (Solver probing evaluates whole constraint trees once per
+// candidate model — this is the symbolic hot path.)
+const opArgBuf = 4
+
 // Concrete implements Expr.
 func (o Op) Concrete() (mem.Value, bool) {
-	vals := make([]mem.Value, len(o.Args))
-	for i, a := range o.Args {
+	var buf [opArgBuf]mem.Value
+	vals := buf[:0]
+	if len(o.Args) > opArgBuf {
+		vals = make([]mem.Value, 0, len(o.Args))
+	}
+	for _, a := range o.Args {
 		v, ok := a.Concrete()
 		if !ok {
 			return mem.Value{}, false
 		}
-		vals[i] = v
+		vals = append(vals, v)
 	}
 	v, err := isa.Eval(o.Code, vals)
 	if err != nil {
@@ -128,9 +138,13 @@ func (o Op) Concrete() (mem.Value, bool) {
 
 // Eval implements Expr.
 func (o Op) Eval(env Env) mem.Value {
-	vals := make([]mem.Value, len(o.Args))
-	for i, a := range o.Args {
-		vals[i] = a.Eval(env)
+	var buf [opArgBuf]mem.Value
+	vals := buf[:0]
+	if len(o.Args) > opArgBuf {
+		vals = make([]mem.Value, 0, len(o.Args))
+	}
+	for _, a := range o.Args {
+		vals = append(vals, a.Eval(env))
 	}
 	v, err := isa.Eval(o.Code, vals)
 	if err != nil {

@@ -15,56 +15,76 @@ func eqOp() isa.Opcode { return isa.OpEq }
 // symbolic addresses are concretized before access, mirroring angr's
 // behaviour as described in §4.2 of the paper ("angr concretizes
 // addresses for memory operations instead of keeping them symbolic").
+//
+// Like the concrete mem.Memory, the representation is copy-on-write:
+// Clone is O(1) and each fork pays only for the cells it writes, which
+// is what keeps symbolic exploration forks (path-condition splits,
+// store concretizations) cheap.
 type Memory struct {
-	cells map[mem.Word]Expr
+	m mem.CowMap[mem.Word, Expr]
+	// sum is the order-independent sum of chainCellHash over all
+	// mapped cells — the memory half of the symbolic configuration
+	// fingerprint, activated lazily by the first HashSum call and
+	// maintained incrementally by Write from then on.
+	sum    uint64
+	hashed bool
 }
 
 // NewMemory returns an empty symbolic memory.
-func NewMemory() *Memory { return &Memory{cells: make(map[mem.Word]Expr)} }
+func NewMemory() *Memory { return &Memory{} }
 
 // Read returns the expression at a; unmapped cells read as public 0.
 func (m *Memory) Read(a mem.Word) Expr {
-	if e, ok := m.cells[a]; ok {
+	if e, ok := m.m.Lookup(a); ok {
 		return e
 	}
 	return CW(0)
 }
 
 // Write sets the cell at a.
-func (m *Memory) Write(a mem.Word, e Expr) { m.cells[a] = e }
+func (m *Memory) Write(a mem.Word, e Expr) {
+	old, existed := m.m.Set(a, e)
+	if m.hashed {
+		if existed {
+			m.sum -= chainCellHash(a, old)
+		}
+		m.sum += chainCellHash(a, e)
+	}
+}
 
 // Contains reports whether a is mapped.
 func (m *Memory) Contains(a mem.Word) bool {
-	_, ok := m.cells[a]
+	_, ok := m.m.Lookup(a)
 	return ok
 }
 
-// Clone returns a copy (expressions are immutable and shared).
+// Clone returns an independent copy in O(1): the private overlay is
+// frozen into the shared chain (expressions are immutable and shared
+// throughout).
 func (m *Memory) Clone() *Memory {
-	c := &Memory{cells: make(map[mem.Word]Expr, len(m.cells))}
-	for a, e := range m.cells {
-		c.cells[a] = e
-	}
-	return c
+	return &Memory{m: m.m.Fork(), sum: m.sum, hashed: m.hashed}
 }
 
-// HashSum folds the memory into an order-independent 64-bit sum using
-// the caller's expression hash — the symbolic configuration
-// fingerprint behind the exploration engine's dedup table.
-func (m *Memory) HashSum(exprHash func(Expr) uint64) uint64 {
-	var sum uint64
-	for a, e := range m.cells {
-		sum += mem.Mix64(mem.Mix64(mem.HashSeed^a) ^ exprHash(e))
+// HashSum folds the memory into an order-independent 64-bit sum over
+// structural expression fingerprints — the symbolic configuration
+// fingerprint behind the exploration engine's dedup table. The first
+// call walks the cells once; afterwards Write maintains the sum
+// incrementally, so fingerprinting a state no longer re-hashes every
+// cell's expression tree.
+func (m *Memory) HashSum() uint64 {
+	if !m.hashed {
+		m.hashed = true
+		m.sum = 0
+		m.m.FlatEach(func(a mem.Word, e Expr) {
+			m.sum += chainCellHash(a, e)
+		})
 	}
-	return sum
+	return m.sum
 }
 
 // Addresses returns the mapped addresses in increasing order.
 func (m *Memory) Addresses() []mem.Word {
-	out := make([]mem.Word, 0, len(m.cells))
-	for a := range m.cells {
-		out = append(out, a)
-	}
+	out := m.m.Keys()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -72,9 +92,9 @@ func (m *Memory) Addresses() []mem.Word {
 // SecretAddresses returns the mapped addresses whose contents carry a
 // secret label, in increasing order; the concretizer targets these.
 func (m *Memory) SecretAddresses() []mem.Word {
-	out := make([]mem.Word, 0)
-	for a, e := range m.cells {
-		if e.Label().IsSecret() {
+	var out []mem.Word
+	for _, a := range m.m.Keys() {
+		if e, ok := m.m.Lookup(a); ok && e.Label().IsSecret() {
 			out = append(out, a)
 		}
 	}
@@ -127,7 +147,8 @@ func (c *Concretizer) Concretize(e Expr, pc PathCondition, m *Memory) (mem.Word,
 func (m *Memory) String() string {
 	s := ""
 	for _, a := range m.Addresses() {
-		s += fmt.Sprintf("%#x ↦ %s\n", a, m.cells[a])
+		e, _ := m.m.Lookup(a)
+		s += fmt.Sprintf("%#x ↦ %s\n", a, e)
 	}
 	return s
 }

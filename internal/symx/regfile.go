@@ -1,0 +1,59 @@
+package symx
+
+import (
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+)
+
+// RegFile is a symbolic register file ρ : R ⇀ Expr with the same
+// copy-on-write representation as Memory: Clone is O(1), forks pay
+// only for the registers they write, and an order-independent hash sum
+// over the mapped registers is maintained incrementally once
+// fingerprinting starts. Unmapped registers are simply absent (ok ==
+// false); the symbolic machine supplies its own public-zero default.
+type RegFile struct {
+	m      mem.CowMap[isa.Reg, Expr]
+	sum    uint64
+	hashed bool
+}
+
+// NewRegFile returns an empty symbolic register file.
+func NewRegFile() *RegFile { return &RegFile{} }
+
+// Read returns ρ(r), if mapped.
+func (f *RegFile) Read(r isa.Reg) (Expr, bool) {
+	return f.m.Lookup(r)
+}
+
+// Write sets ρ(r) = e.
+func (f *RegFile) Write(r isa.Reg, e Expr) {
+	old, existed := f.m.Set(r, e)
+	if f.hashed {
+		if existed {
+			f.sum -= chainCellHash(uint64(r), old)
+		}
+		f.sum += chainCellHash(uint64(r), e)
+	}
+}
+
+// Clone returns an independent copy in O(1).
+func (f *RegFile) Clone() *RegFile {
+	return &RegFile{m: f.m.Fork(), sum: f.sum, hashed: f.hashed}
+}
+
+// Len returns the number of mapped registers.
+func (f *RegFile) Len() int { return f.m.Len() }
+
+// HashSum folds the register file into an order-independent 64-bit
+// sum over structural expression fingerprints; the first call
+// activates incremental maintenance, like Memory.HashSum.
+func (f *RegFile) HashSum() uint64 {
+	if !f.hashed {
+		f.hashed = true
+		f.sum = 0
+		f.m.FlatEach(func(r isa.Reg, e Expr) {
+			f.sum += chainCellHash(uint64(r), e)
+		})
+	}
+	return f.sum
+}
