@@ -23,6 +23,7 @@ import (
 	"pitchfork/internal/pitchfork"
 	"pitchfork/internal/sched"
 	"pitchfork/internal/symx"
+	"pitchfork/internal/taint"
 	"pitchfork/internal/testcases"
 	"pitchfork/spectre"
 )
@@ -383,6 +384,79 @@ func BenchmarkSymbolicScheduleGenerationDedup(b *testing.B) {
 			b.ReportMetric(float64(rep.States), "states")
 			b.ReportMetric(float64(rep.DedupHits), "dedup-hits")
 		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Static pre-analysis: cost of the taint pass itself (the price of a
+// certificate or of the pruning hints), and the hybrid exploration it
+// enables — the corpus sweep with statically-safe forks collapsed.
+// ---------------------------------------------------------------------
+
+// BenchmarkStaticPass measures the flow-sensitive taint analysis over
+// every corpus machine: the fixed cost a hybrid run pays before the
+// explorer starts (and the entire cost of certifying a safe program).
+func BenchmarkStaticPass(b *testing.B) {
+	cases := allCorpora()
+	machines := make([]*core.Machine, len(cases))
+	for j, c := range cases {
+		m, err := c.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		machines[j] = m
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range machines {
+			rep, err := taintOfMachine(machines[j])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Safe() {
+				b.Fatalf("%s statically safe; the corpus is all leaky", cases[j].Name)
+			}
+		}
+	}
+}
+
+// BenchmarkKocherSuiteHybrid is BenchmarkKocherSuite with the static
+// pruning hints wired in — the hybrid mode a -static CLI run uses on
+// programs the pass cannot certify. Findings are bit-identical to the
+// unpruned sweep (asserted by TestStaticSoundnessOnCorpora); the delta
+// between the two benchmarks is what pruning buys.
+func BenchmarkKocherSuiteHybrid(b *testing.B) {
+	cases := testcases.Kocher()
+	machines := make([]*core.Machine, len(cases))
+	hints := make([]*taint.Report, len(cases))
+	for j, c := range cases {
+		m, err := c.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		machines[j] = m
+		if hints[j], err = taintOfMachine(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, c := range cases {
+			rep, err := pitchfork.Analyze(machines[j], pitchfork.Options{
+				Bound:          pitchfork.BoundNoHazards,
+				ForwardHazards: c.NeedsFwdHazards,
+				StopAtFirst:    true,
+				Prune:          hints[j],
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.SecretFree() {
+				b.Fatalf("%s not flagged", c.Name)
+			}
+		}
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] [-symbolic] [-symvars x] [-workers N] [-dedup N] [-repair] file.ctl
+//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] [-symbolic] [-symvars x] [-workers N] [-dedup N] [-static] [-repair] file.ctl
 //
 // Without -bound/-fwd the two-phase procedure runs: bound 250 without
 // forwarding-hazard detection, then bound 20 with it. With -json the
@@ -15,6 +15,14 @@
 // the globals named by -symvars (default x, the corpus convention for
 // the attacker-controlled index) become unconstrained solver
 // variables, and each finding carries a witness assignment.
+//
+// -static enables the speculative-taint pre-analysis: a program the
+// static pass proves safe is certified in O(|program|) without running
+// the explorer, and a program it cannot prove safe is explored in
+// hybrid mode, with the static verdicts pruning provably-safe
+// speculation forks (findings are unchanged; only work is saved). With
+// -repair, the pass additionally ranks candidate fence sites by static
+// suspiciousness.
 //
 // -repair switches from detection to mitigation: the tool synthesizes
 // a minimal fence set (insert at the guarding speculation source,
@@ -46,6 +54,7 @@ func main() {
 	symvars := flag.String("symvars", "x", "comma-separated CTL globals to unbind in -symbolic mode")
 	workers := flag.Int("workers", 1, "exploration worker goroutines (0 = all CPU cores)")
 	dedup := flag.Int("dedup", 0, "bound of the state-dedup table (0 = off)")
+	static := flag.Bool("static", false, "run the static taint pre-analysis: certify safe programs without exploring, prune safe forks otherwise")
 	doRepair := flag.Bool("repair", false, "synthesize a minimal fence repair and emit the repaired program with its cost table")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -89,6 +98,7 @@ func main() {
 			spectre.WithSymbolic(*symbolic),
 			spectre.WithWorkers(*workers),
 			spectre.WithDedup(*dedup),
+			spectre.WithStaticPass(*static),
 		}
 		if *bound > 0 {
 			opts = append(opts, spectre.WithBound(*bound), spectre.WithForwardHazards(*fwd))
@@ -128,6 +138,7 @@ func main() {
 			spectre.WithSymbolic(*symbolic),
 			spectre.WithWorkers(*workers),
 			spectre.WithDedup(*dedup),
+			spectre.WithStaticPass(*static),
 		)
 		if err != nil {
 			fatal(err)
@@ -147,6 +158,7 @@ func main() {
 			exitClean(rep.SecretFree && err == nil)
 		}
 		fmt.Println(rep.Summary())
+		reportStatic(rep)
 		if !rep.SecretFree {
 			reportFindings(rep)
 		}
@@ -158,6 +170,7 @@ func main() {
 		spectre.WithSymbolic(*symbolic),
 		spectre.WithWorkers(*workers),
 		spectre.WithDedup(*dedup),
+		spectre.WithStaticPass(*static),
 	)
 	if err != nil {
 		fatal(err)
@@ -174,6 +187,7 @@ func main() {
 		exitClean(pr.SecretFree() && err == nil)
 	}
 	fmt.Printf("phase 1 (bound %d, no hazard detection): %s\n", spectre.BoundNoHazards, pr.Phase1.Summary())
+	reportStatic(pr.Phase1)
 	if !pr.Phase1.SecretFree {
 		reportFindings(pr.Phase1)
 		os.Exit(1)
@@ -206,6 +220,23 @@ func exitClean(clean bool) {
 		os.Exit(1)
 	}
 	os.Exit(0)
+}
+
+func reportStatic(rep *spectre.Report) {
+	s := rep.Static
+	if s == nil {
+		return
+	}
+	if s.Safe {
+		fmt.Printf("static pre-analysis: safe (%d of %d points reachable); explorer skipped\n", s.Reachable, s.Points)
+		return
+	}
+	note := ""
+	if s.ComputedFlow {
+		note = " [computed control flow: fully conservative]"
+	}
+	fmt.Printf("static pre-analysis: %d suspicious point(s) of %d reachable%s: %s\n",
+		len(s.Suspicious), s.Reachable, note, joinAddrs(s.Suspicious))
 }
 
 func reportFindings(rep *spectre.Report) {

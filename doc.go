@@ -15,24 +15,24 @@
 // domain that applies single attacker directives and reports its
 // reorder-buffer shape:
 //
-//	                  ┌────────────────────────────┐
-//	                  │  internal/sched (engine)   │
-//	                  │  DT(n) strategy · workers  │
-//	                  │  dedup · budgets · merge   │
-//	                  └─────────┬───────┬──────────┘
-//	                   Machine  │       │  Machine
-//	            ┌───────────────┘       └───────────────┐
-//	┌───────────┴───────────┐           ┌───────────────┴─────────┐
-//	│ concrete domain       │           │ symbolic domain         │
-//	│ internal/core + mem   │           │ internal/pitchfork over │
-//	│ (labeled words, §3)   │           │ internal/symx (exprs,   │
-//	│                       │           │ path conditions, §4.2)  │
-//	└───────────┬───────────┘           └───────────────┬─────────┘
-//	            └───────────────┬───────────────────────┘
-//	                  ┌─────────┴──────────┐
-//	                  │  spectre (façade)  │
-//	                  │  Analyzer · Repair │
-//	                  └────────────────────┘
+//	┌────────────────────────┐      ┌────────────────────────────┐
+//	│ internal/taint         │      │  internal/sched (engine)   │
+//	│ static taint pass:     │─────▶│  DT(n) strategy · workers  │
+//	│ certify · PruneHints   │      │  dedup · budgets · merge   │
+//	└───────────┬────────────┘      └─────────┬───────┬──────────┘
+//	            │                    Machine  │       │  Machine
+//	            │             ┌───────────────┘       └───────────────┐
+//	            │  ┌──────────┴────────────┐          ┌───────────────┴─────────┐
+//	            │  │ concrete domain       │          │ symbolic domain         │
+//	            │  │ internal/core + mem   │          │ internal/pitchfork over │
+//	            │  │ (labeled words, §3)   │          │ internal/symx (exprs,   │
+//	            │  │                       │          │ path conditions, §4.2)  │
+//	            │  └──────────┬────────────┘          └───────────────┬─────────┘
+//	            │             └───────────────┬───────────────────────┘
+//	            │                   ┌─────────┴──────────┐
+//	            └──────────────────▶│  spectre (façade)  │
+//	              certificates ·    │  Analyzer · Repair │
+//	              repair ranking    └────────────────────┘
 //
 // Because both domains share the engine, every scaling feature —
 // WithWorkers parallelism, WithDedup state pruning, MaxStates /
@@ -40,6 +40,15 @@
 // deterministic report order — applies identically to concrete and
 // symbolic analysis, and fence repair re-verifies candidates on the
 // same pool in either mode.
+//
+// The static speculative-taint pre-analysis (internal/taint) sits in
+// front of both: a flow-sensitive fixpoint over the speculative CFG
+// that either certifies a program free of secret-labeled observations
+// in O(|program|) (spectre.WithStaticPass — no explorer is built) or
+// hands the engine sound per-point pruning hints (sched.PruneHints)
+// that collapse provably-safe speculation forks without changing the
+// finding set, and hands repair a suspiciousness ranking over
+// candidate fence sites.
 //
 // The supported API surface is the spectre package (pitchfork/spectre):
 // a ProgramBuilder, an Analyzer with functional options and streaming,

@@ -154,6 +154,84 @@ func (in Instr) Writes() (Reg, bool) {
 	return 0, false
 }
 
+// ---------------------------------------------------------------------
+// Static def/use and control-flow metadata. These accessors describe an
+// instruction without executing it — the substrate of whole-program
+// analyses (internal/taint) that must over-approximate every transient
+// execution.
+// ---------------------------------------------------------------------
+
+// UsedRegs appends the registers the instruction reads to dst and
+// returns the extended slice. Call and return expansions read the
+// stack pointer (the return-address push and pop of Appendix A), so
+// KCall and KRet report mem.RSP.
+func (in Instr) UsedRegs(dst []Reg) []Reg {
+	add := func(os []Operand) {
+		for _, o := range os {
+			if o.IsReg {
+				dst = append(dst, o.Reg)
+			}
+		}
+	}
+	switch in.Kind {
+	case KOp, KBr, KLoad, KJmpi:
+		add(in.Args)
+	case KStore:
+		add(in.Args)
+		if in.Src.IsReg {
+			dst = append(dst, in.Src.Reg)
+		}
+	case KCall, KRet:
+		dst = append(dst, mem.RSP)
+	}
+	return dst
+}
+
+// SinkArgs returns the operand list whose joined label an execution of
+// the instruction exposes through an externally visible observation —
+// the address operands of loads and stores (read/fwd/write
+// observations), the condition operands of branches, and the target
+// operands of indirect jumps (jump observations). Instructions whose
+// observations carry no data-dependent label (ops, fences) return nil.
+// Calls and returns expose the stack pointer instead of an operand
+// list; see UsedRegs and the taint package's modeling.
+func (in Instr) SinkArgs() []Operand {
+	switch in.Kind {
+	case KBr, KLoad, KStore, KJmpi:
+		return in.Args
+	}
+	return nil
+}
+
+// StaticSuccessors appends the statically known successor program
+// points of the instruction to dst. ok is false when the successor set
+// cannot be determined statically: an indirect jump whose target is
+// not a single immediate (the computed address depends on run-time
+// register contents and the machine's address mode), or a return
+// (whose transient target is an RSB — or stale in-memory — prediction
+// that may point anywhere a store could reach, Fig. 10). Conditional
+// branches report both arms: the speculative semantics fetches either
+// guess regardless of the condition. Calls report both the callee
+// entry and the return point, covering the architectural return path.
+func (in Instr) StaticSuccessors(dst []Addr) ([]Addr, bool) {
+	switch in.Kind {
+	case KOp, KLoad, KStore, KFence:
+		return append(dst, in.Next), true
+	case KBr:
+		return append(dst, in.True, in.False), true
+	case KCall:
+		return append(dst, in.Callee, in.RetPt), true
+	case KJmpi:
+		if len(in.Args) == 1 && !in.Args[0].IsReg {
+			return append(dst, in.Args[0].Imm.W), true
+		}
+		return dst, false
+	case KRet:
+		return dst, false
+	}
+	return dst, true
+}
+
 // String renders the instruction in the paper's notation.
 func (in Instr) String() string {
 	switch in.Kind {

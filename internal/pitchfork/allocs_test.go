@@ -1,0 +1,81 @@
+package pitchfork
+
+import (
+	"testing"
+
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+	"pitchfork/internal/symx"
+)
+
+// TestResolveArgsAllocFree pins the scratch-buffer optimization:
+// resolving a register operand list must not allocate once the scratch
+// has grown to the list length (resolveArgs was the engine's hottest
+// allocation site). Immediate operands box a fresh Const and are
+// exempt; register reads out of the regfile must be free.
+func TestResolveArgsAllocFree(t *testing.T) {
+	b := isa.NewBuilder(1)
+	b.Op(isa.Reg(0), isa.OpAdd, isa.R(isa.Reg(1)), isa.R(isa.Reg(2)))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := NewSym(p)
+	init.SetReg(isa.Reg(1), symx.NewVar("a", mem.Public))
+	init.SetReg(isa.Reg(2), symx.NewVar("b", mem.Public))
+	s := newSymMachine(init, 0)
+
+	args := []isa.Operand{
+		isa.R(isa.Reg(1)), isa.R(isa.Reg(2)),
+		isa.R(isa.Reg(1)), isa.R(isa.Reg(2)),
+	}
+	if _, ok := s.resolveArgs(s.base, args); !ok {
+		t.Fatal("warm-up resolve failed")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := s.resolveArgs(s.base, args); !ok {
+			t.Fatal("resolve failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("resolveArgs allocates %.1f times per call; want 0 (scratch regression)", allocs)
+	}
+}
+
+// TestApplyArgsCopiesRetainedScratch guards the other half of the
+// scratch contract: when symx.Apply keeps the argument slice verbatim
+// (the default unsimplified path), applyArgs must hand the expression
+// a private copy, or the next resolveArgs would rewrite a live
+// expression's operands in place.
+func TestApplyArgsCopiesRetainedScratch(t *testing.T) {
+	b := isa.NewBuilder(1)
+	b.Op(isa.Reg(0), isa.OpLt, isa.R(isa.Reg(1)), isa.R(isa.Reg(2)))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := NewSym(p)
+	init.SetReg(isa.Reg(1), symx.NewVar("a", mem.Public))
+	init.SetReg(isa.Reg(2), symx.NewVar("b", mem.Public))
+	s := newSymMachine(init, 0)
+
+	args, ok := s.resolveArgs(s.base, []isa.Operand{isa.R(isa.Reg(1)), isa.R(isa.Reg(2))})
+	if !ok {
+		t.Fatal("resolve failed")
+	}
+	e := s.applyArgs(isa.OpLt, args)
+	o, ok := e.(symx.Op)
+	if !ok {
+		t.Fatalf("expected an unsimplified Op expression, got %T", e)
+	}
+	if len(o.Args) == len(args) && &o.Args[0] == &args[0] {
+		t.Fatal("applyArgs returned an expression aliasing the scratch buffer")
+	}
+	before := o.Args[0]
+	if _, ok := s.resolveArgs(s.base, []isa.Operand{isa.R(isa.Reg(2)), isa.R(isa.Reg(1))}); !ok {
+		t.Fatal("second resolve failed")
+	}
+	if o.Args[0] != before {
+		t.Fatal("a later resolveArgs mutated a retained expression's operands")
+	}
+}

@@ -66,6 +66,11 @@ type Options struct {
 	// report and Report.Interrupted set — how context cancellation
 	// reaches the explorers.
 	Interrupt func() bool
+	// Prune, if non-nil, supplies static pre-analysis verdicts (an
+	// internal/taint Report) that let the engine collapse speculation
+	// forks whose whole subtree is provably violation-free. Findings are
+	// identical with and without hints; only States/Paths shrink.
+	Prune sched.PruneHints
 }
 
 // The two bounds of the paper's evaluation procedure (§4.2.1).
@@ -155,6 +160,7 @@ func Analyze(m *core.Machine, opts Options) (Report, error) {
 		DedupEntries:   opts.DedupEntries,
 		KeepSchedules:  true,
 		Interrupt:      opts.Interrupt,
+		Prune:          opts.Prune,
 	}
 	if opts.OnViolation != nil {
 		sopts.OnViolation = func(v sched.Violation) bool {

@@ -152,6 +152,11 @@ type symMachine struct {
 	// deterministic steps stay allocation-free (see sched.Machine.Step's
 	// validity contract).
 	succ [1]sched.Successor
+
+	// argScratch is the operand-resolution scratch resolveArgs reuses
+	// across steps; never shared (Clone leaves it nil) and never
+	// retained (applyArgs copies when an expression would keep it).
+	argScratch []symx.Expr
 }
 
 // newSymMachine lowers an initial configuration into the domain.
@@ -382,8 +387,16 @@ func (s *symMachine) resolveOperand(i int, o isa.Operand) (symx.Expr, bool) {
 	return s.resolveReg(i, o.Reg)
 }
 
+// resolveArgs resolves an operand list into the machine's scratch
+// buffer — the engine's hottest allocation site before it was pooled.
+// The returned slice is valid until the next resolveArgs call on this
+// machine; callers that build an expression which may retain it must
+// go through applyArgs.
 func (s *symMachine) resolveArgs(i int, os []isa.Operand) ([]symx.Expr, bool) {
-	out := make([]symx.Expr, len(os))
+	if cap(s.argScratch) < len(os) {
+		s.argScratch = make([]symx.Expr, len(os))
+	}
+	out := s.argScratch[:len(os)]
 	for k, o := range os {
 		e, ok := s.resolveOperand(i, o)
 		if !ok {
@@ -394,6 +407,25 @@ func (s *symMachine) resolveArgs(i int, os []isa.Operand) ([]symx.Expr, bool) {
 	return out, true
 }
 
+// applyArgs is symx.Apply for scratch-backed argument slices: Apply's
+// default (unsimplified) path keeps the caller's slice as Op.Args, so
+// when the result still aliases args — detected by element pointer
+// identity — the slice is copied out of the scratch before the
+// expression escapes into long-lived state (transients, path
+// conditions). Simplified results never alias and cost nothing extra.
+func (s *symMachine) applyArgs(op isa.Opcode, args []symx.Expr) symx.Expr {
+	e := symx.Apply(op, args...)
+	if o, ok := e.(symx.Op); ok && len(args) > 0 && len(o.Args) == len(args) && &o.Args[0] == &args[0] {
+		fresh := make([]symx.Expr, len(args))
+		copy(fresh, args)
+		o.Args = fresh
+		return o
+	}
+	return e
+}
+
+// addrExpr needs no retention copy: symx.Apply's OpAdd simplification
+// always rebuilds the operand list it keeps.
 func addrExpr(args []symx.Expr) symx.Expr {
 	return symx.Apply(isa.OpAdd, args...)
 }
@@ -555,7 +587,7 @@ func (s *symMachine) execOp(d core.Directive, t *symTransient) ([]sched.Successo
 	if !ok {
 		return nil, symStall("operands unresolved at %d", d.I)
 	}
-	s.setBuf(d.I, &symTransient{kind: core.TValue, dst: t.dst, val: symx.Apply(t.op, args...)})
+	s.setBuf(d.I, &symTransient{kind: core.TValue, dst: t.dst, val: s.applyArgs(t.op, args)})
 	return s.self(d)
 }
 
@@ -569,7 +601,7 @@ func (s *symMachine) execBranch(d core.Directive, t *symTransient) ([]sched.Succ
 	if !ok {
 		return nil, symStall("branch condition unresolved")
 	}
-	cond := symx.Apply(t.op, args...)
+	cond := s.applyArgs(t.op, args)
 	if cv, ok := cond.Concrete(); ok {
 		actual := t.tFalse
 		if cv.W != 0 {
@@ -954,6 +986,7 @@ func AnalyzeSymbolic(m *SymMachine, opts Options) (Report, error) {
 		DedupEntries:   opts.DedupEntries,
 		KeepSchedules:  true,
 		Interrupt:      opts.Interrupt,
+		Prune:          opts.Prune,
 	}
 	if opts.OnViolation != nil {
 		sopts.OnViolation = func(v sched.Violation) bool {

@@ -60,6 +60,21 @@ type Options struct {
 	// MaxSeqInstrs bounds the sequential replays of the precheck and
 	// the behaviour certificate (0 = sched.DefaultMaxRetired).
 	MaxSeqInstrs int
+	// Hints, if non-nil, supplies static suspiciousness verdicts (an
+	// internal/taint Report satisfies the interface) that rank
+	// candidate fence sites: each round tries only the most suspicious
+	// untried site per violation instead of every source placement at
+	// once, so minimization starts from a smaller, better-aimed set.
+	Hints Hints
+}
+
+// Hints is the static pre-analysis contract the site ranking consumes;
+// it mirrors sched.PruneHints so one taint report serves both.
+type Hints interface {
+	// ForkFree reports that no secret-labeled observation is possible
+	// at pp or at any point forward-reachable from it — a fence at such
+	// a point cannot cut off any leak.
+	ForkFree(pp isa.Addr) bool
 }
 
 // DefaultMaxIters is the iteration budget when Options leaves it zero.
@@ -90,6 +105,11 @@ const (
 	// rule produced a new fence site, before verification came back
 	// clean.
 	OutcomeExhausted
+	// OutcomeUnsafeRewrite: the fence set would shift the target of a
+	// computed jump, which isa.Program.InsertAt cannot remap — applying
+	// it would silently change the program's architectural behaviour,
+	// so the engine refuses the rewrite instead.
+	OutcomeUnsafeRewrite
 )
 
 // String names the outcome.
@@ -105,6 +125,8 @@ func (o Outcome) String() string {
 		return "sequential-leak"
 	case OutcomeExhausted:
 		return "exhausted"
+	case OutcomeUnsafeRewrite:
+		return "unsafe-rewrite"
 	}
 	return "unknown"
 }
@@ -137,6 +159,10 @@ type Result struct {
 	// PreMinimizeFences is the fence count before minimization (equal
 	// to len(Sites) when minimization is disabled or removed nothing).
 	PreMinimizeFences int
+	// UnsafeJump is the program point of the computed jump whose target
+	// the refused fence set would have shifted (OutcomeUnsafeRewrite
+	// only).
+	UnsafeJump isa.Addr
 }
 
 // MapAddr translates an original program point to its location in the
@@ -220,12 +246,22 @@ func Repair(prog *isa.Program, opts Options) (*Result, error) {
 		progress := false
 		pending := make(map[isa.Addr]bool) // sites first proposed this round
 		for _, v := range cur.Violations {
+			cands := candidateSites(prog, v, inv)
+			if opts.Hints != nil {
+				rankSites(cands, opts.Hints)
+			}
 			saturated := true // every source fence tried in an earlier round
-			for _, s := range candidateSites(prog, v, inv) {
+			for _, s := range cands {
 				if !siteSet[s] {
 					siteSet[s] = true
 					pending[s] = true
 					progress, saturated = true, false
+					if opts.Hints != nil {
+						// Ranked mode: commit only the most suspicious
+						// untried site this round; the rest stay in
+						// reserve for later rounds if the leak persists.
+						break
+					}
 				} else if pending[s] {
 					saturated = false // proposed this round, not yet verified
 				}
@@ -247,6 +283,12 @@ func Repair(prog *isa.Program, opts Options) (*Result, error) {
 		}
 		res.Iterations = iter
 		res.Sites = sortedSites(siteSet)
+		if pp, hazard := computedJumpHazard(prog, res.Sites); hazard {
+			res.Outcome = OutcomeUnsafeRewrite
+			res.Prog = prog // refuse the rewrite: it would break the jump at pp
+			res.UnsafeJump = pp
+			return res, nil
+		}
 		var rp *isa.Program
 		rp, inv = applySites(prog, res.Sites)
 		rep, err := opts.Verify(rp)
@@ -348,6 +390,52 @@ func candidateSites(orig *isa.Program, v pitchfork.Violation, inv map[isa.Addr]i
 		}
 	}
 	return sites
+}
+
+// rankSites orders candidate fence sites most-suspicious first: sites
+// from which a suspicious point is still forward-reachable (!ForkFree)
+// can actually cut a leak off, so they are tried before provably
+// fork-free ones; ties break on ascending address so ranked runs stay
+// deterministic.
+func rankSites(sites []isa.Addr, h Hints) {
+	sort.SliceStable(sites, func(i, j int) bool {
+		si, sj := !h.ForkFree(sites[i]), !h.ForkFree(sites[j])
+		if si != sj {
+			return si
+		}
+		return sites[i] < sites[j]
+	})
+}
+
+// computedJumpHazard reports whether inserting fences at sites would
+// silently retarget a computed jump. InsertAt remaps every static
+// control-flow reference but cannot touch jmpi operands (the target is
+// computed at run time): an immediate target T still reads T after the
+// code at T shifted to T+1 — a hazard for any site strictly below T
+// (a site AT T is fine: the old target flows through the fence) — and
+// a register-computed target could denote any shifted point, so any
+// insertion at all is a hazard.
+func computedJumpHazard(p *isa.Program, sites []isa.Addr) (isa.Addr, bool) {
+	if len(sites) == 0 {
+		return 0, false
+	}
+	for _, pc := range p.Points() {
+		in, _ := p.At(pc)
+		if in.Kind != isa.KJmpi {
+			continue
+		}
+		if len(in.Args) == 1 && !in.Args[0].IsReg {
+			t := in.Args[0].Imm.W
+			for _, s := range sites {
+				if s < t {
+					return pc, true
+				}
+			}
+			continue
+		}
+		return pc, true
+	}
+	return 0, false
 }
 
 // applySites inserts a fence before the original occupant of every

@@ -1,0 +1,119 @@
+package repair
+
+import (
+	"reflect"
+	"testing"
+
+	"pitchfork/internal/isa"
+	"pitchfork/internal/mem"
+)
+
+func TestComputedJumpHazard(t *testing.T) {
+	// 1: op, 2: op, 3: jmpi 5 (single immediate), 4: op, 5: op
+	b := isa.NewBuilder(1)
+	b.Op(isa.Reg(0), isa.OpAdd, isa.ImmW(0))
+	b.Op(isa.Reg(0), isa.OpAdd, isa.ImmW(0))
+	b.Jmpi(isa.ImmW(5))
+	b.Op(isa.Reg(0), isa.OpAdd, isa.ImmW(0))
+	b.Op(isa.Reg(0), isa.OpAdd, isa.ImmW(0))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, hazard := computedJumpHazard(p, nil); hazard {
+		t.Error("empty site set cannot shift anything")
+	}
+	// A fence at or above the target leaves the target's address alone.
+	if _, hazard := computedJumpHazard(p, []isa.Addr{5}); hazard {
+		t.Error("site at the jump target does not shift it")
+	}
+	if _, hazard := computedJumpHazard(p, []isa.Addr{6}); hazard {
+		t.Error("site above the jump target does not shift it")
+	}
+	// A fence below the target shifts it: the immediate now names the
+	// wrong instruction.
+	pc, hazard := computedJumpHazard(p, []isa.Addr{2})
+	if !hazard || pc != 3 {
+		t.Errorf("site below the target must be a hazard at the jmpi: got (%d, %v)", pc, hazard)
+	}
+
+	// A register-target jmpi is unanalyzable: any insertion is a hazard.
+	b2 := isa.NewBuilder(1)
+	b2.Jmpi(isa.R(isa.Reg(0)))
+	b2.Op(isa.Reg(0), isa.OpAdd, isa.ImmW(0))
+	p2, err := b2.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc, hazard := computedJumpHazard(p2, []isa.Addr{2}); !hazard || pc != 1 {
+		t.Errorf("register-target jmpi must flag any site: got (%d, %v)", pc, hazard)
+	}
+	if _, hazard := computedJumpHazard(p2, nil); hazard {
+		t.Error("register-target jmpi with no sites is still not a hazard")
+	}
+}
+
+// TestRepairRefusesComputedJumpRewrite runs the full engine on a v1
+// gadget that sits below a computed jump's immediate target: the
+// synthesized fence would shift the target, so the engine must refuse
+// the rewrite rather than emit a program with silently retargeted
+// control flow.
+func TestRepairRefusesComputedJumpRewrite(t *testing.T) {
+	// 1: br (r0 < 1) → 2 / 4   bounds check; r0 = 1 is out of bounds
+	// 2: load r1 = [100 + r0]  transiently reads the secret at 101
+	// 3: load r2 = [200 + r1]  leaks it through the address
+	// 4: jmpi 6                computed jump over the landing pad
+	// 5: op                    (dead)
+	// 6: op                    join point
+	b := isa.NewBuilder(1)
+	b.Data(100, mem.Pub(0))
+	b.Data(101, mem.Sec(7))
+	b.Data(200, mem.Pub(0))
+	b.Br(isa.OpLt, []isa.Operand{isa.R(isa.Reg(0)), isa.ImmW(1)}, 2, 4)
+	b.Load(isa.Reg(1), isa.ImmW(100), isa.R(isa.Reg(0)))
+	b.Load(isa.Reg(2), isa.ImmW(200), isa.R(isa.Reg(1)))
+	b.Jmpi(isa.ImmW(6))
+	b.Op(isa.Reg(3), isa.OpAdd, isa.ImmW(0))
+	b.Op(isa.Reg(3), isa.OpAdd, isa.ImmW(0))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := Repair(p, optionsFor(map[isa.Reg]mem.Value{isa.Reg(0): mem.Pub(1)}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Before.SecretFree() {
+		t.Fatal("baseline must carry the v1 violation for the test to mean anything")
+	}
+	if res.Outcome != OutcomeUnsafeRewrite {
+		t.Fatalf("outcome = %s, want unsafe-rewrite", res.Outcome)
+	}
+	if res.UnsafeJump != 4 {
+		t.Errorf("UnsafeJump = %d, want the jmpi at 4", res.UnsafeJump)
+	}
+	if res.Prog != p {
+		t.Error("a refused rewrite must hand back the original program")
+	}
+	if res.Outcome.Secured() {
+		t.Error("unsafe-rewrite must not read as secured")
+	}
+}
+
+type fakeHints map[isa.Addr]bool
+
+func (f fakeHints) ForkFree(pp isa.Addr) bool { return f[pp] }
+
+func TestRankSites(t *testing.T) {
+	// Fork-free (statically boring) sites sink to the back; each class
+	// stays in ascending address order.
+	sites := []isa.Addr{9, 4, 7, 2, 5}
+	h := fakeHints{4: true, 5: true} // 4 and 5 are provably pointless
+	rankSites(sites, h)
+	want := []isa.Addr{2, 7, 9, 4, 5}
+	if !reflect.DeepEqual(sites, want) {
+		t.Fatalf("ranked order = %v, want %v", sites, want)
+	}
+}

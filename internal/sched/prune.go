@@ -1,0 +1,50 @@
+package sched
+
+import "pitchfork/internal/isa"
+
+// PruneHints is the static pre-analysis contract the exploration
+// strategy consumes (implemented by internal/taint's Report without
+// either package importing the other). ForkFree(pp) must promise that
+// no schedule of the analyzed machine can produce a secret-labeled
+// observation at pp or at any point forward-reachable from pp in the
+// over-approximated control-flow graph — where branch points reach
+// both arms (covering wrong-path execution and rollback) and computed
+// control flow forces whole-program conservatism.
+//
+// Under this contract pruneFork collapses speculation forks whose
+// whole subtree provably contributes zero findings, so a pruned
+// exploration reports findings identical to an unpruned one (state and
+// path counts shrink; the violation set does not).
+type PruneHints interface {
+	ForkFree(pp isa.Addr) bool
+}
+
+// pruneFork reports whether the speculation fork at program point pp
+// may be collapsed to a single arm. Every arm's entire future must be
+// provably violation-free, which needs ForkFree at two kinds of point:
+//
+//   - the fork point itself: everything fetched from here on — on any
+//     guess, in any resolution order — sits in pp's forward closure;
+//   - every instruction still in the reorder buffer: an older
+//     in-flight instruction observes (executes or retires) inside the
+//     fork's speculation window, and on top of its own observation it
+//     can REDIRECT fetch — a mispredicted branch rolls back into its
+//     other arm, a forwarding hazard restarts at the stale load —
+//     into regions that are forward-reachable from the buffered
+//     instruction's point but not necessarily from pp. SafePoint
+//     alone would miss those futures; ForkFree covers them because
+//     the static CFG gives a branch both arms as successors.
+//
+// Together these make every arm's subtree violation-free, so exploring
+// one arm is finding-equivalent to exploring all of them.
+func pruneFork(m Machine, h PruneHints, pp isa.Addr) bool {
+	if h == nil || !h.ForkFree(pp) {
+		return false
+	}
+	for i := m.BufMin(); i <= m.BufMax(); i++ {
+		if t, ok := m.View(i); ok && !h.ForkFree(t.PP) {
+			return false
+		}
+	}
+	return true
+}

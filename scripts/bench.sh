@@ -15,6 +15,12 @@
 # -benchmem is always on: the perf trajectory tracks B/op and
 # allocs/op alongside ns/op, since allocation volume is what the
 # copy-on-write state representation optimizes.
+#
+# The sweep includes the static pre-analysis pair: BenchmarkStaticPass
+# prices the taint pass itself (the whole cost of certifying a safe
+# program), and BenchmarkKocherSuiteHybrid re-runs the Kocher sweep
+# with static pruning hints wired in — compare it against
+# BenchmarkKocherSuite to see what hybrid mode buys.
 set -eu
 
 outdir="${1:-.}"

@@ -6,7 +6,19 @@ import (
 	"iter"
 
 	"pitchfork/internal/pitchfork"
+	"pitchfork/internal/sched"
+	"pitchfork/internal/taint"
 )
+
+// pruneHints adapts a taint report to the engine's hint interface; a
+// typed-nil *taint.Report must become an untyped nil so the engine's
+// h == nil check works.
+func pruneHints(rep *taint.Report) sched.PruneHints {
+	if rep == nil {
+		return nil
+	}
+	return rep
+}
 
 // Analyzer checks programs for speculative constant-time violations by
 // exploring the paper's worst-case attacker schedules. An Analyzer is
@@ -146,6 +158,27 @@ func (a *Analyzer) runWith(ctx context.Context, p *Program, bound int, fwd bool,
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var static *taint.Report
+	if a.cfg.staticPass {
+		var err error
+		static, err = staticAnalyze(p)
+		if err != nil {
+			return nil, fmt.Errorf("spectre: static pass: %w", err)
+		}
+		if static.Safe() {
+			// Static fast path: the pre-analysis proved every reachable
+			// point safe, so no explorer needs to run — the certificate
+			// covers all speculative schedules at any bound.
+			return &Report{
+				Mode:           ModeStatic,
+				Bound:          bound,
+				ForwardHazards: fwd,
+				SecretFree:     true,
+				Findings:       make([]Finding, 0),
+				Static:         staticWire(static),
+			}, nil
+		}
+	}
 	opts := pitchfork.Options{
 		Bound:          bound,
 		ForwardHazards: fwd,
@@ -156,6 +189,7 @@ func (a *Analyzer) runWith(ctx context.Context, p *Program, bound int, fwd bool,
 		DedupEntries:   a.cfg.dedupEntries,
 		SolverSeed:     a.cfg.solverSeed,
 		Interrupt:      func() bool { return ctx.Err() != nil },
+		Prune:          pruneHints(static),
 	}
 	if yield != nil {
 		opts.OnViolation = func(v pitchfork.Violation) bool {
@@ -173,6 +207,9 @@ func (a *Analyzer) runWith(ctx context.Context, p *Program, bound int, fwd bool,
 		return nil, fmt.Errorf("spectre: %w", err)
 	}
 	rep := reportOf(irep, bound, fwd)
+	if static != nil {
+		rep.Static = staticWire(static)
+	}
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		rep.Interrupted = true
 		return rep, ctxErr

@@ -31,6 +31,7 @@ type config struct {
 	solverSeed     int64
 	workers        int
 	dedupEntries   int
+	staticPass     bool
 }
 
 func defaultConfig() config {
@@ -150,6 +151,24 @@ func WithWorkers(n int) Option {
 			n = runtime.NumCPU()
 		}
 		c.workers = n
+		return nil
+	}
+}
+
+// WithStaticPass runs the flow-sensitive speculative-taint
+// pre-analysis (internal/taint) before exploration. A program the
+// static pass proves safe is certified without constructing an
+// explorer — Report.Mode is ModeStatic and Report.Static carries the
+// verdict; O(|program|) instead of O(schedules). A program it cannot
+// prove safe is explored as usual in hybrid mode: the static verdicts
+// become pruning hints that let the engine skip speculation forks
+// whose whole subtree is provably violation-free. Findings are
+// identical with and without the pass (the pre-analysis
+// over-approximates every transient execution); only States and Paths
+// shrink. Off by default.
+func WithStaticPass(on bool) Option {
+	return func(c *config) error {
+		c.staticPass = on
 		return nil
 	}
 }

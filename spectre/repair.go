@@ -25,6 +25,10 @@ const (
 	// RepairExhausted: the synthesis budget ran out before
 	// verification came back clean.
 	RepairExhausted = "exhausted"
+	// RepairUnsafeRewrite: the fence set would shift the target of a
+	// computed jump, which the program rewriter cannot remap — the
+	// repair was refused rather than silently changing behaviour.
+	RepairUnsafeRewrite = "unsafe-rewrite"
 	// RepairFailed: the engine could not reach a verdict — the
 	// accompanying error says why (verification error, inconclusive
 	// budget-truncated run, failed behaviour certificate).
@@ -123,6 +127,9 @@ func (r *RepairResult) Summary() string {
 	case RepairExhausted:
 		return fmt.Sprintf("repair exhausted after %d iteration(s), %d fence(s) tried",
 			r.Cost.Iterations, len(r.Sites))
+	case RepairUnsafeRewrite:
+		return fmt.Sprintf("unrepairable: fence set would retarget a computed jump (%d site(s) proposed)",
+			len(r.Sites))
 	default:
 		return fmt.Sprintf("repair failed after %d iteration(s); see the accompanying error", r.Cost.Iterations)
 	}
@@ -166,6 +173,13 @@ func (a *Analyzer) repairWith(ctx context.Context, p *Program, workers int) (*Re
 			return p.withProg(ip).machine()
 		},
 	}
+	if a.cfg.staticPass {
+		// Rank candidate fence sites by static suspiciousness so each
+		// round commits only the most promising placement.
+		if srep, err := staticAnalyze(p); err == nil {
+			ropts.Hints = srep
+		}
+	}
 	res, err := repair.Repair(p.prog, ropts)
 	if res == nil {
 		return nil, fmt.Errorf("spectre: %w", err)
@@ -192,6 +206,14 @@ func (a *Analyzer) repairVerifier(ctx context.Context, p *Program, workers int) 
 			DedupEntries:   a.cfg.dedupEntries,
 			SolverSeed:     a.cfg.solverSeed,
 			Interrupt:      func() bool { return ctx.Err() != nil },
+		}
+		if a.cfg.staticPass {
+			// The hints must match the candidate's address space, so the
+			// (linear) pre-analysis reruns per rewritten program; a
+			// pre-analysis error just forfeits the pruning.
+			if srep, err := staticAnalyze(q); err == nil {
+				opts.Prune = pruneHints(srep)
+			}
 		}
 		var rep pitchfork.Report
 		var err error

@@ -134,9 +134,40 @@ func (f Finding) String() string {
 	return s
 }
 
+// Analysis mode strings used in Report.Mode.
+const (
+	// ModeConcrete and ModeSymbolic name the two exploration domains.
+	ModeConcrete = "concrete"
+	ModeSymbolic = "symbolic"
+	// ModeStatic marks a report produced entirely by the static
+	// pre-analysis (WithStaticPass): the program was proven safe
+	// without constructing an explorer, so States and Paths are zero.
+	ModeStatic = "static"
+)
+
+// StaticReport is the static pre-analysis verdict in the stable wire
+// schema (see WithStaticPass and Analyzer.StaticReport).
+type StaticReport struct {
+	// Safe reports whether the pre-analysis proved the program free of
+	// secret-labeled observations under every speculative schedule.
+	Safe bool `json:"safe"`
+	// Points is the number of program points; Reachable how many the
+	// analysis considers (transiently) reachable.
+	Points    int `json:"points"`
+	Reachable int `json:"reachable"`
+	// Suspicious lists the program points the analysis could not prove
+	// safe, ascending. Every explorer finding's PC is in this list —
+	// the converse need not hold (the analysis over-approximates).
+	Suspicious []Addr `json:"suspicious,omitempty"`
+	// ComputedFlow reports that the program contains computed control
+	// flow (register-target jumps or returns) the static CFG cannot
+	// resolve, forcing the analysis to its most conservative regime.
+	ComputedFlow bool `json:"computedFlow"`
+}
+
 // Report aggregates one analysis run in the stable wire schema.
 type Report struct {
-	// Mode is "concrete" or "symbolic".
+	// Mode is ModeConcrete, ModeSymbolic, or ModeStatic.
 	Mode string `json:"mode"`
 	// Bound is the speculation bound the run used.
 	Bound int `json:"bound"`
@@ -163,6 +194,9 @@ type Report struct {
 	// DedupHits counts exploration states pruned by fingerprint
 	// deduplication (see WithDedup); 0 when dedup is off.
 	DedupHits int `json:"dedupHits"`
+	// Static is the static pre-analysis verdict when WithStaticPass was
+	// enabled; nil otherwise (absent on the wire).
+	Static *StaticReport `json:"static,omitempty"`
 }
 
 // Summary renders a one-line result.

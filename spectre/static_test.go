@@ -1,0 +1,163 @@
+package spectre_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pitchfork/spectre"
+)
+
+// safeProgram is the Figure 1 control-flow shape with no secrets
+// anywhere — the case the static pass can certify without exploring.
+func safeProgram() *spectre.Program {
+	return spectre.NewProgramBuilder().
+		Br(spectre.OpGt, []spectre.Operand{spectre.Imm(4), spectre.R(ra)}, 2, 4).
+		Load(rb, spectre.Imm(0x40), spectre.R(ra)).
+		Load(rc, spectre.Imm(0x44), spectre.R(rb)).
+		Public(0x40, 1, 2, 3, 4).
+		Public(0x44, 5, 6, 7, 8).
+		SetReg(ra, 9).
+		MustBuild()
+}
+
+// TestStaticPassCertifiesWithoutExploring: a secret-free program under
+// WithStaticPass returns the O(|program|) certificate — mode "static",
+// zero explored states, an empty (but present) findings list, and the
+// static verdict on the wire.
+func TestStaticPassCertifiesWithoutExploring(t *testing.T) {
+	rep, err := mustNew(t, spectre.WithBound(20), spectre.WithStaticPass(true)).
+		Run(context.Background(), safeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != spectre.ModeStatic {
+		t.Errorf("mode = %q, want %q", rep.Mode, spectre.ModeStatic)
+	}
+	if !rep.SecretFree {
+		t.Error("certified program must report secret-free")
+	}
+	if rep.Findings == nil || len(rep.Findings) != 0 {
+		t.Errorf("findings must be present and empty, got %#v", rep.Findings)
+	}
+	if rep.States != 0 || rep.Paths != 0 {
+		t.Errorf("explorer must not run: %d states, %d paths", rep.States, rep.Paths)
+	}
+	if rep.Static == nil || !rep.Static.Safe {
+		t.Fatalf("static verdict missing or not safe: %+v", rep.Static)
+	}
+	if len(rep.Static.Suspicious) != 0 {
+		t.Errorf("safe verdict with suspicious points: %v", rep.Static.Suspicious)
+	}
+
+	// The same program without the pass explores and agrees.
+	plain, err := mustNew(t, spectre.WithBound(20)).Run(context.Background(), safeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.SecretFree {
+		t.Error("explorer disagrees with the static certificate")
+	}
+	if plain.Static != nil {
+		t.Error("static verdict must be absent when the pass is off")
+	}
+}
+
+// TestStaticPassHybridFindingsUnchanged: on a leaky program the pass
+// falls through to hybrid exploration — findings identical to a plain
+// run, with the static verdict attached.
+func TestStaticPassHybridFindingsUnchanged(t *testing.T) {
+	hybrid, err := mustNew(t, spectre.WithBound(20), spectre.WithStopAtFirst(false),
+		spectre.WithStaticPass(true)).Run(context.Background(), v1Program(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := mustNew(t, spectre.WithBound(20), spectre.WithStopAtFirst(false)).
+		Run(context.Background(), v1Program(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hybrid.Mode != spectre.ModeConcrete {
+		t.Errorf("hybrid run must stay in explorer mode, got %q", hybrid.Mode)
+	}
+	if !reflect.DeepEqual(hybrid.Findings, plain.Findings) {
+		t.Errorf("hybrid findings differ from plain:\n hybrid %v\n plain  %v", hybrid.Findings, plain.Findings)
+	}
+	if hybrid.Static == nil || hybrid.Static.Safe {
+		t.Fatalf("leaky program needs a non-safe static verdict: %+v", hybrid.Static)
+	}
+	suspicious := map[spectre.Addr]bool{}
+	for _, pp := range hybrid.Static.Suspicious {
+		suspicious[pp] = true
+	}
+	for _, f := range hybrid.Findings {
+		if !suspicious[f.PC] {
+			t.Errorf("finding at pc=%d not among static suspicious points %v", f.PC, hybrid.Static.Suspicious)
+		}
+	}
+}
+
+// TestStaticReportAPI exercises the standalone verdict entry point.
+func TestStaticReportAPI(t *testing.T) {
+	an := mustNew(t)
+	s, err := an.StaticReport(safeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Safe || len(s.Suspicious) != 0 {
+		t.Errorf("safe program: %+v", s)
+	}
+	s, err = an.StaticReport(v1Program(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Safe || len(s.Suspicious) == 0 {
+		t.Errorf("leaky program: %+v", s)
+	}
+	if _, err := an.StaticReport(nil); err == nil {
+		t.Error("nil program must error")
+	}
+}
+
+// TestStaticReportGoldenJSON pins the wire schema of the static
+// verdict, both as the fast-path certificate and as the `static`
+// field riding on a hybrid explorer report.
+// Regenerate deliberately with: go test ./spectre -run Golden -update
+func TestStaticReportGoldenJSON(t *testing.T) {
+	an := mustNew(t, spectre.WithBound(20), spectre.WithStopAtFirst(true),
+		spectre.WithStaticPass(true))
+	cert, err := an.Run(context.Background(), safeProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := an.Run(context.Background(), v1Program(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(map[string]*spectre.Report{
+		"certificate": cert,
+		"hybrid":      hybrid,
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "report.static.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("static report JSON schema drifted from golden fixture\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}

@@ -1,0 +1,6 @@
+// CI-only module: the analyzers job runs `go mod tidy` before
+// building, which resolves and pins golang.org/x/tools there. Kept out
+// of the root module so the engine builds offline.
+module pitchfork/tools/vettool
+
+go 1.23
