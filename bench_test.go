@@ -525,10 +525,10 @@ func BenchmarkCTCompile(b *testing.B) {
 func BenchmarkSolver(b *testing.B) {
 	x := symx.NewVar("x", mem.Public)
 	s := symx.NewSolver(1)
-	cond := symx.PathCondition{
-		{E: symx.Apply(isa.OpGt, x, symx.CW(4)), Truthy: true},
-		{E: symx.Apply(isa.OpLt, x, symx.CW(64)), Truthy: true},
-	}
+	cond := symx.PCond(
+		symx.Constraint{E: symx.Apply(isa.OpGt, x, symx.CW(4)), Truthy: true},
+		symx.Constraint{E: symx.Apply(isa.OpLt, x, symx.CW(64)), Truthy: true},
+	)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -604,6 +604,52 @@ func BenchmarkRepairFig7SpectreV4(b *testing.B) {
 		}
 		return f.Program(), nil
 	})
+}
+
+// BenchmarkRepairPortfolio prices each mitigation strategy — and the
+// auto portfolio that certifies all of them and keeps the cheapest —
+// over the Kocher suite, so the cost of portfolio repair relative to
+// a pinned strategy stays visible in the benchmark trail. A pinned
+// strategy may legitimately exhaust on cases its mitigation cannot
+// cover (a retpoline cannot fix a branch gadget with no return), so
+// only the shapes that must succeed assert a repaired count.
+func BenchmarkRepairPortfolio(b *testing.B) {
+	cases := testcases.Kocher()
+	for _, strat := range []string{
+		spectre.StrategyAuto, spectre.StrategyFence, spectre.StrategyMask, spectre.StrategyRet,
+	} {
+		b.Run(strat, func(b *testing.B) {
+			b.ReportAllocs()
+			an, err := spectre.New(
+				spectre.WithWorkers(runtime.NumCPU()),
+				spectre.WithDedup(1<<20),
+				spectre.WithRepairStrategy(strat),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				items := make([]spectre.BatchItem, len(cases))
+				for j, c := range cases {
+					p, err := spectre.CompileCTL(c.Source(), spectre.ModeC)
+					if err != nil {
+						b.Fatal(err)
+					}
+					items[j] = spectre.BatchItem{Name: c.Name, Program: p}
+				}
+				secured := 0
+				for _, r := range an.RepairAll(context.Background(), items) {
+					if r.Err == nil && r.Result.SecretFree() {
+						secured++
+					}
+				}
+				if secured == 0 && (strat == spectre.StrategyAuto || strat == spectre.StrategyFence) {
+					b.Fatal("no case secured")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkRepairAllKocherSuite(b *testing.B) {

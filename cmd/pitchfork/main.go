@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] [-symbolic] [-symvars x] [-workers N] [-dedup N] [-static] [-repair] file.ctl
+//	pitchfork [-mode c|fact] [-bound N] [-fwd] [-all] [-json] [-symbolic] [-symvars x] [-workers N] [-dedup N] [-static] [-repair] [-strategy auto|fence|mask|ret] file.ctl
 //
 // Without -bound/-fwd the two-phase procedure runs: bound 250 without
 // forwarding-hazard detection, then bound 20 with it. With -json the
@@ -25,9 +25,14 @@
 // suspiciousness.
 //
 // -repair switches from detection to mitigation: the tool synthesizes
-// a minimal fence set (insert at the guarding speculation source,
-// re-verify, iterate, minimize), then emits the repaired program and
-// a cost table. Repair verifies at the hazard-aware bound 20 unless
+// a minimal patch set (propose at the guarding speculation source,
+// re-verify, iterate, minimize), then emits the repaired program with
+// its cost table and — under the default -strategy=auto portfolio —
+// a per-strategy comparison table. -strategy picks the mitigation:
+// "fence" (§3.6 speculation fences), "mask" (SLH-style speculative
+// load hardening), "ret" (Figure 13 retpolines), or "auto" to run all
+// three and keep the cheapest certified patch by estimated sequential
+// cost. Repair verifies at the hazard-aware bound 20 unless
 // -bound/-fwd override it; the exit status is 0 only when the program
 // is secret-free as given or after repair.
 package main
@@ -55,7 +60,8 @@ func main() {
 	workers := flag.Int("workers", 1, "exploration worker goroutines (0 = all CPU cores)")
 	dedup := flag.Int("dedup", 0, "bound of the state-dedup table (0 = off)")
 	static := flag.Bool("static", false, "run the static taint pre-analysis: certify safe programs without exploring, prune safe forks otherwise")
-	doRepair := flag.Bool("repair", false, "synthesize a minimal fence repair and emit the repaired program with its cost table")
+	doRepair := flag.Bool("repair", false, "synthesize a minimal repair and emit the repaired program with its cost table")
+	strategy := flag.String("strategy", "auto", "repair mitigation: auto (cheapest certified), fence, mask, or ret (with -repair)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pitchfork [flags] file.ctl")
@@ -99,6 +105,7 @@ func main() {
 			spectre.WithWorkers(*workers),
 			spectre.WithDedup(*dedup),
 			spectre.WithStaticPass(*static),
+			spectre.WithRepairStrategy(*strategy),
 		}
 		if *bound > 0 {
 			opts = append(opts, spectre.WithBound(*bound), spectre.WithForwardHazards(*fwd))
@@ -121,7 +128,11 @@ func main() {
 		fmt.Println("repair:", res.Summary())
 		if res.Outcome == spectre.RepairRepaired {
 			fmt.Println(res.Cost.Table())
-			fmt.Printf("  %-18s %s\n", "fence points", joinAddrs(res.FencePoints))
+			fmt.Printf("  %-18s %s\n", "patch points", joinAddrs(res.FencePoints))
+			if tab := res.StrategyTable(); tab != "" {
+				fmt.Println("\nstrategy portfolio:")
+				fmt.Println(tab)
+			}
 			fmt.Println("\nrepaired program:")
 			fmt.Print(res.Program.Disassemble())
 		} else if !res.SecretFree() && res.Before != nil && !res.Before.SecretFree {

@@ -29,17 +29,32 @@
 //	            │  │                       │          │ path conditions, §4.2)  │
 //	            │  └──────────┬────────────┘          └───────────────┬─────────┘
 //	            │             └───────────────┬───────────────────────┘
-//	            │                   ┌─────────┴──────────┐
-//	            └──────────────────▶│  spectre (façade)  │
-//	              certificates ·    │  Analyzer · Repair │
-//	              repair ranking    └────────────────────┘
+//	            │                   ┌─────────┴──────────┐       ┌──────────────────────────┐
+//	            └──────────────────▶│  spectre (façade)  │◀──────│ internal/repair          │
+//	              certificates ·    │  Analyzer · Repair │       │ mitigation portfolio:    │
+//	              repair ranking    └────────────────────┘       │ fence · mask · ret over  │
+//	                                                             │ internal/isa patch plans │
+//	                                                             └──────────────────────────┘
 //
 // Because both domains share the engine, every scaling feature —
 // WithWorkers parallelism, WithDedup state pruning, MaxStates /
 // MaxRetired budgets, StopAtFirst, streaming, cancellation, and the
 // deterministic report order — applies identically to concrete and
-// symbolic analysis, and fence repair re-verifies candidates on the
+// symbolic analysis, and repair re-verifies candidate patches on the
 // same pool in either mode.
+//
+// Mitigation is a portfolio over one rewriting layer: internal/isa
+// patch plans (insert/replace with full address remapping) carry
+// three strategies in internal/repair — the paper's §3.6 fences,
+// SLH-style load masking, and Figure 13 retpolines for flagged
+// returns. The mask strategy follows the classic SLH register
+// convention: mem.RMSK (address 0xFFFD) holds the all-ones/all-zeros
+// speculation predicate updated branchlessly on each conditional
+// edge, and mem.RTMP (0xFFFF) is the reserved rewriter scratch
+// register — programs already reading either are refused rather than
+// silently miscompiled. The default auto strategy certifies each
+// candidate patch and keeps the cheapest by estimated sequential
+// cost (instructions retired on the architectural path).
 //
 // The static speculative-taint pre-analysis (internal/taint) sits in
 // front of both: a flow-sensitive fixpoint over the speculative CFG
@@ -53,7 +68,7 @@
 // The supported API surface is the spectre package (pitchfork/spectre):
 // a ProgramBuilder, an Analyzer with functional options and streaming,
 // context-aware analysis, a stable JSON report schema, and automatic
-// fence repair (Repair/RepairAll). See README.md for the tour and
+// portfolio repair (Repair/RepairAll). See README.md for the tour and
 // quickstart. The implementation lives under internal/; the root
 // package holds only the repository-level benchmark harness
 // (bench_test.go) and the cross-domain differential and determinism

@@ -1,12 +1,16 @@
-// Fence repair: the countermeasure workflow the paper's conclusion
-// sketches, fully automated — detect SCT violations, map each one to
-// its guarding speculation source, insert §3.6 fences there, re-verify,
-// and minimize, with the cost of the repair measured along the way.
+// Portfolio repair: the countermeasure workflow the paper's
+// conclusion sketches, fully automated — detect SCT violations, map
+// each one to its guarding speculation source, patch the source,
+// re-verify, and minimize, with the cost of the repair measured along
+// the way. The default strategy is the mitigation portfolio: §3.6
+// fences, SLH-style load masking, and Figure 13 retpolines are each
+// synthesized and certified, and the cheapest certified patch by
+// estimated sequential cost wins.
 //
 // The victim is the Figure 1 bounds-check-bypass gadget in CTL; the
 // engine synthesizes the same patch Figure 8 writes by hand (one fence
-// at the head of the speculated arm) and proves it sufficient and
-// minimal.
+// at the head of the speculated arm), proves it sufficient and
+// minimal, and shows the losing portfolio rows alongside it.
 package main
 
 import (
@@ -38,6 +42,10 @@ func main() {
 	an, err := spectre.New(
 		spectre.WithBound(20),
 		spectre.WithForwardHazards(true),
+		// The default: run the fence/mask/ret portfolio and keep the
+		// cheapest certified patch. Pin one mitigation instead with
+		// e.g. spectre.WithRepairStrategy(spectre.StrategyMask).
+		spectre.WithRepairStrategy(spectre.StrategyAuto),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -56,13 +64,17 @@ func main() {
 	if res.Outcome != spectre.RepairRepaired {
 		log.Fatalf("unexpected repair outcome %q", res.Outcome)
 	}
-	fmt.Println("cost:")
-	fmt.Println(res.Cost.Table())
-	fmt.Printf("\nrepaired program (fences at %v):\n%s", res.FencePoints, res.Program.Disassemble())
+	if res.Strategy != spectre.StrategyFence {
+		log.Fatalf("portfolio chose %q; the Figure 1 gadget's cheapest certified patch is the fence", res.Strategy)
+	}
+	fmt.Printf("chosen strategy: %s\ncost:\n%s\n", res.Strategy, res.Cost.Table())
+	fmt.Printf("\nportfolio (the chosen row is starred):\n%s\n", res.StrategyTable())
+	fmt.Printf("\nrepaired program (patches at %v):\n%s", res.FencePoints, res.Program.Disassemble())
 
-	// The minimized fence set is certified 1-minimal by construction:
-	// greedy deletion re-verified each survivor. Cross-check the whole
-	// patch by re-analyzing the repaired program from scratch.
+	// The minimized patch set is certified 1-minimal by construction:
+	// greedy deletion in cost order re-verified each survivor.
+	// Cross-check the whole patch by re-analyzing the repaired program
+	// from scratch.
 	rep, err := an.Run(context.Background(), res.Program)
 	if err != nil {
 		log.Fatal(err)

@@ -268,6 +268,8 @@ func operands(args []Operand) string {
 // and rtmp; everything else as r<N>.
 func RegName(r Reg) string {
 	switch {
+	case r == mem.RMSK:
+		return "rmsk"
 	case r == mem.RSP:
 		return "rsp"
 	case r == mem.RTMP:

@@ -1,0 +1,252 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+
+	"pitchfork/internal/mem"
+)
+
+// fencePlan builds the plan equivalent of the repair engine's historic
+// applySites loop: one fence inserted before the occupant of each site.
+func fencePlan(sites []Addr) Plan {
+	var pl Plan
+	for _, s := range sites {
+		pl.Add(Patch{At: s, Insert: []Instr{Fence(s)}})
+	}
+	return pl
+}
+
+// insertAtChain applies sites with the legacy one-at-a-time InsertAt
+// loop, ascending, fence falling through to the shifted occupant.
+func insertAtChain(orig *Program, sites []Addr) *Program {
+	p := orig.Clone()
+	for i, s := range sites {
+		at := s + Addr(i)
+		p.InsertAt(at, Fence(at+1))
+	}
+	return p
+}
+
+func figureProgram() *Program {
+	// A v1-shaped program with a branch, loads, a store, a call and a
+	// labeled arm — enough reference kinds to exercise every remap.
+	b := NewBuilder(1)
+	b.Br(OpLt, []Operand{R(Reg(0)), ImmW(4)}, 2, 5) // 1
+	b.Load(Reg(1), ImmW(0x40), R(Reg(0)))           // 2
+	b.Load(Reg(2), ImmW(0x44), R(Reg(1)))           // 3
+	b.Store(R(Reg(2)), ImmW(0x48))                  // 4
+	b.Call(7)                                       // 5
+	b.Op(Reg(3), OpAdd, ImmW(1))                    // 6
+	b.Ret()                                         // 7
+	b.Define("arm", 2)
+	b.Define("join", 5)
+	b.Define("table", 0x40) // data address: must never move
+	b.Data(0x40, mem.Pub(7))
+	return b.MustBuild()
+}
+
+// TestFencePlanMatchesInsertAt pins the compatibility contract: a plan
+// of single-fence patches produces the byte-identical program the
+// legacy ascending InsertAt loop did, for every subset of sites the
+// repair engine could propose.
+func TestFencePlanMatchesInsertAt(t *testing.T) {
+	orig := figureProgram()
+	siteSets := [][]Addr{
+		{2},
+		{2, 5},
+		{1, 3, 6},
+		{2, 3, 4, 5, 6, 7},
+		{8}, // one past the last instruction: a store-successor site
+	}
+	for _, sites := range siteSets {
+		pl := fencePlan(sites)
+		rw, err := pl.Apply(orig)
+		if err != nil {
+			t.Fatalf("sites %v: %v", sites, err)
+		}
+		want := insertAtChain(orig, sites)
+		if !reflect.DeepEqual(rw.Prog.Instrs, want.Instrs) {
+			t.Errorf("sites %v: instruction maps diverge\nplan: %v\nchain: %v", sites, rw.Prog.Instrs, want.Instrs)
+		}
+		if rw.Prog.Entry != want.Entry {
+			t.Errorf("sites %v: entry %d, want %d", sites, rw.Prog.Entry, want.Entry)
+		}
+		if !reflect.DeepEqual(rw.Prog.Symbols, want.Symbols) {
+			t.Errorf("sites %v: symbols %v, want %v", sites, rw.Prog.Symbols, want.Symbols)
+		}
+		if !reflect.DeepEqual(rw.Prog.Data, want.Data) {
+			t.Errorf("sites %v: data image changed", sites)
+		}
+		// The map agrees with the historic shift arithmetic.
+		for _, a := range orig.Points() {
+			shiftLoc, shiftTgt := Addr(0), Addr(0)
+			for _, s := range sites {
+				if s <= a {
+					shiftLoc++
+				}
+				if s < a {
+					shiftTgt++
+				}
+			}
+			if got := rw.Map.Addr(a); got != a+shiftLoc {
+				t.Errorf("sites %v: Map.Addr(%d) = %d, want %d", sites, a, got, a+shiftLoc)
+			}
+			if got := rw.Map.Target(a); got != a+shiftTgt {
+				t.Errorf("sites %v: Map.Target(%d) = %d, want %d", sites, a, got, a+shiftTgt)
+			}
+			if back, ok := rw.Orig[rw.Map.Addr(a)]; !ok || back != a {
+				t.Errorf("sites %v: Orig[%d] = %d,%v, want %d", sites, rw.Map.Addr(a), back, ok, a)
+			}
+		}
+	}
+}
+
+// TestMultiInsertBlock pins the block layout of a multi-instruction
+// patch: insertions occupy consecutive slots before the occupant, the
+// own-point convention chains each instruction to the next slot, and
+// only non-head slots count as interior.
+func TestMultiInsertBlock(t *testing.T) {
+	b := NewBuilder(1)
+	b.Op(Reg(0), OpAdd, ImmW(1)) // 1
+	b.Load(Reg(1), R(Reg(0)))    // 2
+	b.Op(Reg(2), OpAdd, ImmW(2)) // 3
+	orig := b.MustBuild()
+
+	var pl Plan
+	pl.Add(Patch{At: 2, Insert: []Instr{
+		Op(Reg(9), OpAdd, []Operand{R(Reg(0))}, 2),          // falls to the and
+		Op(Reg(9), OpAnd, []Operand{R(Reg(9)), ImmW(7)}, 2), // falls to the occupant
+	}})
+	rw, err := pl.Apply(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: 1 → block at 2,3 → occupant at 4 → 5.
+	if got := rw.Map.Target(2); got != 2 {
+		t.Fatalf("block start = %d, want 2", got)
+	}
+	if got := rw.Map.Addr(2); got != 4 {
+		t.Fatalf("occupant location = %d, want 4", got)
+	}
+	first, _ := rw.Prog.At(2)
+	second, _ := rw.Prog.At(3)
+	occupant, _ := rw.Prog.At(4)
+	if first.Kind != KOp || first.Next != 3 {
+		t.Fatalf("block head = %v, want fall-through to 3", first)
+	}
+	if second.Next != 4 {
+		t.Fatalf("block interior falls to %d, want the occupant at 4", second.Next)
+	}
+	if occupant.Kind != KLoad || occupant.Next != 5 {
+		t.Fatalf("occupant = %v, want the load falling to 5", occupant)
+	}
+	if !reflect.DeepEqual(rw.Inserted, []Addr{2, 3}) {
+		t.Fatalf("Inserted = %v", rw.Inserted)
+	}
+	if rw.Interior(2) || !rw.Interior(3) {
+		t.Fatalf("interior marking wrong: head %v, second %v", rw.Interior(2), rw.Interior(3))
+	}
+	// The predecessor's fall-through enters the block head.
+	prev, _ := rw.Prog.At(1)
+	if prev.Next != 2 {
+		t.Fatalf("predecessor falls to %d, want the block head 2", prev.Next)
+	}
+}
+
+// TestReplacePatch: a replacement substitutes the occupant in place,
+// with its fields remapped as original-space references.
+func TestReplacePatch(t *testing.T) {
+	b := NewBuilder(1)
+	b.Op(Reg(0), OpAdd, ImmW(1))                    // 1
+	b.Br(OpLt, []Operand{R(Reg(0)), ImmW(4)}, 3, 4) // 2
+	b.Load(Reg(1), R(Reg(0)))                       // 3
+	b.Op(Reg(2), OpAdd, ImmW(2))                    // 4
+	orig := b.MustBuild()
+
+	var pl Plan
+	repl := Load(Reg(1), []Operand{R(Reg(9))}, 4) // original-space Next
+	pl.Add(Patch{At: 3, Insert: []Instr{Op(Reg(9), OpAdd, []Operand{R(Reg(0))}, 3)}, Replace: &repl})
+	rw, err := pl.Apply(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 gains a one-instruction block, so the replacement sits at 4 and
+	// the old 4 at 5.
+	got, _ := rw.Prog.At(4)
+	if got.Kind != KLoad || !got.Args[0].IsReg || got.Args[0].Reg != Reg(9) || got.Next != 5 {
+		t.Fatalf("replacement = %v, want masked load falling to 5", got)
+	}
+	if back := rw.Orig[4]; back != 3 {
+		t.Fatalf("replacement lost its identity: Orig[4] = %d, want 3", back)
+	}
+	br, _ := rw.Prog.At(2)
+	if br.True != 3 || br.False != 5 {
+		t.Fatalf("branch arms = %d/%d, want 3/5 (true arm enters the block)", br.True, br.False)
+	}
+
+	var bad Plan
+	miss := Ret()
+	bad.Add(Patch{At: 9, Replace: &miss})
+	if _, err := bad.Apply(orig); err == nil {
+		t.Fatal("replacement at a halt point must be rejected")
+	}
+}
+
+// TestPlanAddMerges: patches at one point merge append-wise.
+func TestPlanAddMerges(t *testing.T) {
+	var pl Plan
+	pl.Add(Patch{At: 5, Insert: []Instr{Fence(5)}})
+	pl.Add(Patch{At: 2, Insert: []Instr{Fence(2)}})
+	pl.Add(Patch{At: 5, Insert: []Instr{Fence(5)}})
+	ps := pl.Patches()
+	if len(ps) != 2 || ps[0].At != 2 || ps[1].At != 5 || len(ps[1].Insert) != 2 {
+		t.Fatalf("merged patches = %+v", ps)
+	}
+	if pl.InsertCount() != 3 {
+		t.Fatalf("InsertCount = %d", pl.InsertCount())
+	}
+}
+
+// TestPlanJmpiHazard mirrors the repair engine's historic
+// computed-jump rules on the plan form.
+func TestPlanJmpiHazard(t *testing.T) {
+	b := NewBuilder(1)
+	b.Op(Reg(0), OpAdd, ImmW(0)) // 1
+	b.Op(Reg(0), OpAdd, ImmW(0)) // 2
+	b.Jmpi(ImmW(5))              // 3
+	b.Op(Reg(0), OpAdd, ImmW(0)) // 4
+	b.Op(Reg(0), OpAdd, ImmW(0)) // 5
+	p := b.MustBuild()
+
+	empty := Plan{}
+	if _, hazard := empty.JmpiHazard(p); hazard {
+		t.Error("empty plan cannot shift anything")
+	}
+	at5 := fencePlan([]Addr{5})
+	if _, hazard := at5.JmpiHazard(p); hazard {
+		t.Error("insertion at the jump target does not shift it")
+	}
+	below := fencePlan([]Addr{2})
+	if pc, hazard := below.JmpiHazard(p); !hazard || pc != 3 {
+		t.Errorf("insertion below the target must be a hazard at the jmpi: got (%d, %v)", pc, hazard)
+	}
+
+	b2 := NewBuilder(1)
+	b2.Jmpi(R(Reg(0)))            // 1
+	b2.Op(Reg(0), OpAdd, ImmW(0)) // 2
+	p2 := b2.MustBuild()
+	reg := fencePlan([]Addr{2})
+	if pc, hazard := reg.JmpiHazard(p2); !hazard || pc != 1 {
+		t.Errorf("register-target jmpi must flag any insertion: got (%d, %v)", pc, hazard)
+	}
+	// A plan that REPLACES the jmpi removes the hazard: the replacement
+	// is plan-authored and remapped normally.
+	var repl Plan
+	nop := Op(Reg(0), OpAdd, []Operand{ImmW(0)}, 2)
+	repl.Add(Patch{At: 1, Replace: &nop})
+	repl.Add(Patch{At: 2, Insert: []Instr{Fence(2)}})
+	if pc, hazard := repl.JmpiHazard(p2); hazard {
+		t.Errorf("replaced jmpi still flagged at %d", pc)
+	}
+}

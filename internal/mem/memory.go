@@ -201,9 +201,17 @@ type RegisterFile struct {
 type Reg uint16
 
 // Conventional registers used by the call/return expansion of
-// Appendix A. RSP is the stack pointer; RTMP is the scratch register
-// the ret expansion loads the return address into.
+// Appendix A and by the repair engine's hardening passes. RSP is the
+// stack pointer; RTMP is the scratch register the ret expansion loads
+// the return address into (repair-inserted code also uses it for
+// transient address computations — its architectural value is never
+// committed by the expansion, so the convention is compatible); RMSK
+// is the speculation-predicate register the SLH-style mask pass
+// maintains: all-ones on architectural paths, zero on mis-speculated
+// ones. Source programs must not use RMSK — the mask pass refuses
+// programs that do.
 const (
+	RMSK Reg = 0xFFFD
 	RSP  Reg = 0xFFFE
 	RTMP Reg = 0xFFFF
 )

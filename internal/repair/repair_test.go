@@ -23,7 +23,10 @@ func optionsFor(regs map[isa.Reg]mem.Value) Options {
 	}
 	return Options{
 		Verify: func(p *isa.Program) (pitchfork.Report, error) {
-			return pitchfork.Analyze(mk(p), pitchfork.Options{Bound: 20, ForwardHazards: true})
+			// Fingerprint dedup keeps the state count of multi-instruction
+			// rewrites (retpolines, masks) inside the default budget;
+			// findings are identical with and without it.
+			return pitchfork.Analyze(mk(p), pitchfork.Options{Bound: 20, ForwardHazards: true, DedupEntries: 1 << 20})
 		},
 		Machine: mk,
 	}
@@ -200,19 +203,17 @@ func TestRepairBehaviourCertificate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mo := opts.Machine(prog)
-	_, trace, err := core.RunSequential(mo, 1000)
+	base, err := runAttributed(func() *core.Machine { return opts.Machine(prog) }, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base := &seqBaseline{trace: trace, halted: mo.Halted()}
 	if err := behaviourPreserved(base, res, opts); err != nil {
 		t.Fatalf("behaviour certificate failed: %v", err)
 	}
 	// Sabotage the baseline: a mismatching jump target must be caught.
-	for i := range base.trace {
-		if base.trace[i].Kind == core.OJump {
-			base.trace[i].Target += 7
+	for i := range base.obs {
+		if base.obs[i].o.Kind == core.OJump {
+			base.obs[i].o.Target += 7
 		}
 	}
 	if err := behaviourPreserved(base, res, opts); err == nil {

@@ -1,0 +1,145 @@
+package repair
+
+import (
+	"fmt"
+
+	"pitchfork/internal/isa"
+	"pitchfork/internal/pitchfork"
+	"pitchfork/internal/sched"
+)
+
+// Mitigation is one hardening pass the repair engine can drive: it
+// proposes patch sites for a violation's speculation sources and
+// realizes a committed site set as an isa patch plan. The engine owns
+// everything else — the counterexample-guided loop, minimization, the
+// explorer re-verification of every candidate, and the sequential
+// behaviour certificate — so a mitigation only encodes WHERE to patch
+// and WHAT to insert, never whether the patch worked.
+type Mitigation interface {
+	// Name is the strategy's wire name ("fence", "mask", "ret").
+	Name() string
+	// CandidateSites derives original-space patch sites for one
+	// violation's speculation sources. Source program points arrive in
+	// repaired space and are translated through inv. Sources the
+	// mitigation cannot protect yield no sites.
+	CandidateSites(orig *isa.Program, v pitchfork.Violation, inv map[isa.Addr]isa.Addr) []isa.Addr
+	// FallbackSite is the escalation site when every candidate for a
+	// still-leaking violation has been tried in earlier rounds; ok is
+	// false when the mitigation has no escalation rule.
+	FallbackSite(orig *isa.Program, v pitchfork.Violation, inv map[isa.Addr]isa.Addr) (isa.Addr, bool)
+	// Plan realizes the mitigation at the given original-space sites.
+	// An error means the strategy cannot rewrite this program at all
+	// (e.g. a register convention the program violates); the engine
+	// reports the attempt as exhausted rather than failed.
+	Plan(orig *isa.Program, sites []isa.Addr) (*isa.Plan, error)
+}
+
+// strategiesFor resolves an Options.Strategy value. The empty string
+// keeps the historical fence-only behaviour; "auto" returns the whole
+// portfolio in preference order.
+func strategiesFor(name string) ([]Mitigation, error) {
+	switch name {
+	case "", StrategyFence:
+		return []Mitigation{fenceMitigation{}}, nil
+	case StrategyMask:
+		return []Mitigation{maskMitigation{}}, nil
+	case StrategyRet:
+		return []Mitigation{retMitigation{}}, nil
+	case StrategyAuto:
+		return []Mitigation{fenceMitigation{}, maskMitigation{}, retMitigation{}}, nil
+	}
+	return nil, fmt.Errorf("repair: unknown strategy %q (want auto, fence, mask or ret)", name)
+}
+
+// Strategy names accepted by Options.Strategy.
+const (
+	StrategyAuto  = "auto"
+	StrategyFence = "fence"
+	StrategyMask  = "mask"
+	StrategyRet   = "ret"
+)
+
+// fenceMitigation is the paper's §3.6 mitigation: a fence before the
+// occupant of each site. Placement rules per source kind are the
+// package-documented ones (branch → both arm heads, store → successor,
+// call push → callee entry, ret → the ret itself, fallback → directly
+// before the leaking instruction).
+type fenceMitigation struct{}
+
+func (fenceMitigation) Name() string { return StrategyFence }
+
+func (fenceMitigation) CandidateSites(orig *isa.Program, v pitchfork.Violation, inv map[isa.Addr]isa.Addr) []isa.Addr {
+	var sites []isa.Addr
+	for _, s := range v.Sources {
+		opc, ok := inv[s.PC]
+		if !ok {
+			continue
+		}
+		in, ok := orig.At(opc)
+		if !ok {
+			continue
+		}
+		switch s.Kind {
+		case sched.SrcBranch:
+			if in.Kind == isa.KBr {
+				sites = append(sites, in.True, in.False)
+			}
+		case sched.SrcStore:
+			switch in.Kind {
+			case isa.KStore:
+				sites = append(sites, in.Next)
+			case isa.KCall:
+				// The return-address push of a call expansion: fencing
+				// the callee entry holds the body until it retires.
+				sites = append(sites, in.Callee)
+			}
+		case sched.SrcRet:
+			if in.Kind == isa.KRet {
+				sites = append(sites, opc)
+			}
+		}
+	}
+	return sites
+}
+
+func (fenceMitigation) FallbackSite(orig *isa.Program, v pitchfork.Violation, inv map[isa.Addr]isa.Addr) (isa.Addr, bool) {
+	// Source placement was already tried and the leak persists:
+	// escalate to a fence directly before the leaking instruction.
+	opc, ok := inv[v.PC]
+	return opc, ok
+}
+
+func (fenceMitigation) Plan(orig *isa.Program, sites []isa.Addr) (*isa.Plan, error) {
+	var pl isa.Plan
+	for _, s := range sites {
+		pl.Add(isa.Patch{At: s, Insert: []isa.Instr{isa.Fence(s)}})
+	}
+	return &pl, nil
+}
+
+// readsReg reports whether any instruction of p reads r. Repair-
+// inserted code claims scratch registers; a program that already reads
+// them would observe the clobber, so such strategies refuse it.
+func readsReg(p *isa.Program, r isa.Reg) bool {
+	var scratch [8]isa.Reg
+	for _, pc := range p.Points() {
+		in, _ := p.At(pc)
+		for _, u := range in.UsedRegs(scratch[:0]) {
+			if u == r {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writesReg reports whether any instruction of p assigns r.
+func writesReg(p *isa.Program, r isa.Reg) bool {
+	for _, pc := range p.Points() {
+		in, _ := p.At(pc)
+		if dst, ok := in.Writes(); ok && dst == r {
+			return true
+		}
+	}
+	return false
+}

@@ -28,22 +28,57 @@ func (c Constraint) String() string {
 }
 
 // PathCondition is a conjunction of constraints accumulated along an
-// execution path.
-type PathCondition []Constraint
+// execution path. It is an immutable parent-pointer chain: With shares
+// the whole prefix with the receiver, so extending the condition at a
+// branch fork costs one node instead of a copy of the conjunction —
+// symbolic exploration forks at every input-dependent branch, and the
+// per-fork slice copies were the dominant constraint-bookkeeping cost.
+// The zero value is the empty (trivially true) condition.
+type PathCondition struct{ n *pcNode }
+
+// pcNode is one conjunct; fp caches the Fingerprint fold of the chain
+// up to and including this constraint, so fingerprints stay O(1) and
+// bit-identical to the historical oldest-first slice fold.
+type pcNode struct {
+	parent *pcNode
+	c      Constraint
+	fp     uint64
+	depth  int
+}
+
+// PCond builds a path condition from constraints, oldest first.
+func PCond(cs ...Constraint) PathCondition {
+	var p PathCondition
+	for _, c := range cs {
+		p = p.With(c)
+	}
+	return p
+}
 
 // With returns the path condition extended by one constraint (the
-// receiver is not mutated; prefixes stay shareable across forks).
+// receiver is not mutated; prefixes stay shared across forks).
 func (p PathCondition) With(c Constraint) PathCondition {
-	out := make(PathCondition, len(p)+1)
-	copy(out, p)
-	out[len(p)] = c
-	return out
+	h := mem.Mix64(p.Fingerprint() ^ Fingerprint(c.E))
+	if c.Truthy {
+		h = mem.Mix64(h ^ 1)
+	} else {
+		h = mem.Mix64(h ^ 2)
+	}
+	return PathCondition{n: &pcNode{parent: p.n, c: c, fp: h, depth: p.Len() + 1}}
+}
+
+// Len reports the number of conjuncts.
+func (p PathCondition) Len() int {
+	if p.n == nil {
+		return 0
+	}
+	return p.n.depth
 }
 
 // Holds evaluates the conjunction under env.
 func (p PathCondition) Holds(env Env) bool {
-	for _, c := range p {
-		if !c.Holds(env) {
+	for n := p.n; n != nil; n = n.parent {
+		if !n.c.Holds(env) {
 			return false
 		}
 	}
@@ -53,25 +88,20 @@ func (p PathCondition) Holds(env Env) bool {
 // Fingerprint folds the conjunction to 64 bits, structurally and
 // order-sensitively — one hash serving both the solver's per-query
 // seeding and the symbolic exploration domain's configuration
-// fingerprints, so the two can never drift apart.
+// fingerprints, so the two can never drift apart. The fold is cached
+// per node, making this O(1).
 func (p PathCondition) Fingerprint() uint64 {
-	h := mem.HashSeed
-	for _, c := range p {
-		h = mem.Mix64(h ^ Fingerprint(c.E))
-		if c.Truthy {
-			h = mem.Mix64(h ^ 1)
-		} else {
-			h = mem.Mix64(h ^ 2)
-		}
+	if p.n == nil {
+		return mem.HashSeed
 	}
-	return h
+	return p.n.fp
 }
 
 // Vars returns the free variables of the conjunction, sorted.
 func (p PathCondition) Vars() []string {
 	set := make(map[string]bool)
-	for _, c := range p {
-		c.E.vars(set)
+	for n := p.n; n != nil; n = n.parent {
+		n.c.E.vars(set)
 	}
 	out := make([]string, 0, len(set))
 	for n := range set {

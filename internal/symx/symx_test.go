@@ -155,19 +155,67 @@ func TestConstraintAndPathCondition(t *testing.T) {
 	// With must not mutate the prefix.
 	base := PathCondition{}.With(cTrue)
 	_ = base.With(cFalse)
-	if len(base) != 1 {
+	if base.Len() != 1 {
 		t.Fatal("With mutated the receiver")
 	}
 }
+
+// TestPathConditionFingerprintFold pins the chain's cached fingerprint
+// to the historical oldest-first slice fold: solver witnesses are a
+// pure function of (seed, fingerprint), so the fold may never drift.
+func TestPathConditionFingerprintFold(t *testing.T) {
+	x := NewVar("x", mem.Public)
+	cs := []Constraint{
+		{E: Apply(isa.OpLt, x, CW(10)), Truthy: true},
+		{E: Apply(isa.OpEq, x, CW(3)), Truthy: false},
+		{E: Apply(isa.OpGt, x, CW(1)), Truthy: true},
+	}
+	p := PCond(cs...)
+	want := mem.HashSeed
+	for _, c := range cs {
+		want = mem.Mix64(want ^ Fingerprint(c.E))
+		if c.Truthy {
+			want = mem.Mix64(want ^ 1)
+		} else {
+			want = mem.Mix64(want ^ 2)
+		}
+	}
+	if got := p.Fingerprint(); got != want {
+		t.Fatalf("chain fingerprint %#x, slice fold %#x", got, want)
+	}
+	if PCond().Fingerprint() != mem.HashSeed {
+		t.Fatal("empty condition must fingerprint to the seed")
+	}
+}
+
+// TestPathConditionWithAllocs pins the per-fork constraint cost: With
+// allocates exactly the one chain node, never a copy of the prefix.
+func TestPathConditionWithAllocs(t *testing.T) {
+	x := NewVar("x", mem.Public)
+	base := PCond(
+		Constraint{E: Apply(isa.OpLt, x, CW(100)), Truthy: true},
+		Constraint{E: Apply(isa.OpGt, x, CW(2)), Truthy: true},
+		Constraint{E: Apply(isa.OpEq, x, CW(50)), Truthy: false},
+	)
+	c := Constraint{E: Apply(isa.OpEq, x, CW(7)), Truthy: true}
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = base.With(c)
+	})
+	if allocs > 1 {
+		t.Fatalf("With allocates %v objects per call, want 1", allocs)
+	}
+}
+
+var sink PathCondition
 
 func TestSolverSimple(t *testing.T) {
 	s := NewSolver(1)
 	x := NewVar("x", mem.Public)
 	// x > 4 ∧ x < 8
-	pc := PathCondition{
-		{E: Apply(isa.OpGt, x, CW(4)), Truthy: true},
-		{E: Apply(isa.OpLt, x, CW(8)), Truthy: true},
-	}
+	pc := PCond(
+		Constraint{E: Apply(isa.OpGt, x, CW(4)), Truthy: true},
+		Constraint{E: Apply(isa.OpLt, x, CW(8)), Truthy: true},
+	)
 	env, ok := s.Solve(pc)
 	if !ok {
 		t.Fatal("satisfiable system not solved")
@@ -179,10 +227,10 @@ func TestSolverSimple(t *testing.T) {
 
 func TestSolverEmptyAndTrivial(t *testing.T) {
 	s := NewSolver(2)
-	if env, ok := s.Solve(nil); !ok || len(env) != 0 {
+	if env, ok := s.Solve(PathCondition{}); !ok || len(env) != 0 {
 		t.Fatal("empty condition is satisfiable by the empty model")
 	}
-	pc := PathCondition{{E: CW(0), Truthy: true}}
+	pc := PCond(Constraint{E: CW(0), Truthy: true})
 	if _, ok := s.Solve(pc); ok {
 		t.Fatal("0 ≠ 0 must not be satisfiable")
 	}
@@ -192,10 +240,10 @@ func TestSolverTwoVariables(t *testing.T) {
 	s := NewSolver(3)
 	x, y := NewVar("x", mem.Public), NewVar("y", mem.Public)
 	// x + y == 255 ∧ x == 255 (forces y == 0)
-	pc := PathCondition{
-		{E: Apply(isa.OpEq, Apply(isa.OpAdd, x, y), CW(255)), Truthy: true},
-		{E: Apply(isa.OpEq, x, CW(255)), Truthy: true},
-	}
+	pc := PCond(
+		Constraint{E: Apply(isa.OpEq, Apply(isa.OpAdd, x, y), CW(255)), Truthy: true},
+		Constraint{E: Apply(isa.OpEq, x, CW(255)), Truthy: true},
+	)
 	env, ok := s.Solve(pc)
 	if !ok {
 		t.Fatal("not solved")
@@ -209,7 +257,7 @@ func TestSolveWithPinsExpression(t *testing.T) {
 	s := NewSolver(4)
 	x := NewVar("x", mem.Public)
 	addr := Apply(isa.OpAdd, CW(0x40), x)
-	env, ok := s.SolveWith(nil, addr, 0x49)
+	env, ok := s.SolveWith(PathCondition{}, addr, 0x49)
 	if !ok {
 		t.Fatal("pin not solved")
 	}
@@ -221,11 +269,11 @@ func TestSolveWithPinsExpression(t *testing.T) {
 func TestFeasible(t *testing.T) {
 	s := NewSolver(5)
 	x := NewVar("x", mem.Public)
-	sat := PathCondition{{E: Apply(isa.OpEq, x, CW(7)), Truthy: true}}
-	unsat := PathCondition{
-		{E: Apply(isa.OpEq, x, CW(7)), Truthy: true},
-		{E: Apply(isa.OpEq, x, CW(8)), Truthy: true},
-	}
+	sat := PCond(Constraint{E: Apply(isa.OpEq, x, CW(7)), Truthy: true})
+	unsat := PCond(
+		Constraint{E: Apply(isa.OpEq, x, CW(7)), Truthy: true},
+		Constraint{E: Apply(isa.OpEq, x, CW(8)), Truthy: true},
+	)
 	if !s.Feasible(sat) {
 		t.Fatal("sat reported infeasible")
 	}
@@ -269,7 +317,7 @@ func TestConcretizerPrefersSecretCells(t *testing.T) {
 	}
 	x := NewVar("x", mem.Public)
 	addr := Apply(isa.OpAdd, CW(0x40), x)
-	a, ok := c.Concretize(addr, nil, m)
+	a, ok := c.Concretize(addr, PathCondition{}, m)
 	if !ok {
 		t.Fatal("concretization failed")
 	}
@@ -278,7 +326,7 @@ func TestConcretizerPrefersSecretCells(t *testing.T) {
 	}
 	// Under a bounds constraint x < 4 the secret cells are
 	// unreachable; concretization must still succeed, in bounds.
-	pc := PathCondition{{E: Apply(isa.OpLt, x, CW(4)), Truthy: true}}
+	pc := PCond(Constraint{E: Apply(isa.OpLt, x, CW(4)), Truthy: true})
 	a, ok = c.Concretize(addr, pc, m)
 	if !ok {
 		t.Fatal("bounded concretization failed")
@@ -291,7 +339,7 @@ func TestConcretizerPrefersSecretCells(t *testing.T) {
 func TestConcretizeConcreteAddrShortCircuit(t *testing.T) {
 	s := NewSolver(7)
 	c := NewConcretizer(s)
-	a, ok := c.Concretize(CW(0x123), nil, NewMemory())
+	a, ok := c.Concretize(CW(0x123), PathCondition{}, NewMemory())
 	if !ok || a != 0x123 {
 		t.Fatalf("concrete address = %#x, %t", a, ok)
 	}
@@ -301,10 +349,10 @@ func TestConcretizeInfeasiblePath(t *testing.T) {
 	s := NewSolver(8)
 	c := NewConcretizer(s)
 	x := NewVar("x", mem.Public)
-	pc := PathCondition{
-		{E: Apply(isa.OpEq, x, CW(1)), Truthy: true},
-		{E: Apply(isa.OpEq, x, CW(2)), Truthy: true},
-	}
+	pc := PCond(
+		Constraint{E: Apply(isa.OpEq, x, CW(1)), Truthy: true},
+		Constraint{E: Apply(isa.OpEq, x, CW(2)), Truthy: true},
+	)
 	if _, ok := c.Concretize(x, pc, NewMemory()); ok {
 		t.Fatal("infeasible path must fail concretization")
 	}

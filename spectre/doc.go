@@ -33,11 +33,16 @@
 //     directive schedule, and (in symbolic mode) a witness assignment.
 //
 //   - Automatic mitigation: Repair (and the corpus-shaped RepairAll)
-//     synthesizes a minimal §3.6 fence set by counterexample-guided
-//     iteration — insert at each finding's speculation source,
-//     re-verify, minimize — and reports the patched Program together
-//     with a RepairCost (fences added, instruction growth,
-//     exploration-effort delta).
+//     synthesizes a minimal certified patch by counterexample-guided
+//     iteration — patch each finding's speculation source, re-verify,
+//     minimize in cost order — over a portfolio of strategies:
+//     StrategyFence (§3.6 fences), StrategyMask (SLH-style load
+//     hardening), StrategyRet (Figure 13 retpolines), or the default
+//     StrategyAuto, which runs all three and keeps the cheapest
+//     certified patch by estimated sequential cost. The RepairResult
+//     reports the patched Program, the chosen strategy, a RepairCost
+//     (patch sites, instruction growth, sequential-cost estimate,
+//     exploration-effort delta), and the per-strategy portfolio rows.
 //
 // A minimal audit looks like:
 //

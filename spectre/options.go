@@ -32,6 +32,7 @@ type config struct {
 	workers        int
 	dedupEntries   int
 	staticPass     bool
+	repairStrategy string
 }
 
 func defaultConfig() config {
@@ -39,6 +40,7 @@ func defaultConfig() config {
 		bound:          DefaultBound,
 		forwardHazards: true,
 		workers:        1,
+		repairStrategy: StrategyAuto,
 	}
 }
 
@@ -170,6 +172,25 @@ func WithStaticPass(on bool) Option {
 	return func(c *config) error {
 		c.staticPass = on
 		return nil
+	}
+}
+
+// WithRepairStrategy selects the mitigation Repair and RepairAll
+// synthesize: StrategyFence (the paper's §3.6 fences), StrategyMask
+// (SLH-style speculative load hardening), StrategyRet (Figure 13
+// retpolines for flagged returns), or StrategyAuto (the default) to
+// run the whole portfolio and keep the cheapest certified patch by
+// estimated sequential cost. Whatever the strategy, every patch is
+// re-verified secret-free by the configured detector and certified
+// behaviour-preserving modulo the rewrite's address map.
+func WithRepairStrategy(s string) Option {
+	return func(c *config) error {
+		switch s {
+		case StrategyAuto, StrategyFence, StrategyMask, StrategyRet:
+			c.repairStrategy = s
+			return nil
+		}
+		return fmt.Errorf("spectre: unknown repair strategy %q (want auto, fence, mask or ret)", s)
 	}
 }
 

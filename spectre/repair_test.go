@@ -65,11 +65,28 @@ func TestRepairAllKocherCorpus(t *testing.T) {
 			if !res.After.SecretFree {
 				t.Errorf("%s: repaired program still flagged: %s", c.Name, res.After.Summary())
 			}
-			if res.Cost.Fences < 1 || res.Cost.InstrAfter != res.Cost.InstrBefore+res.Cost.Fences {
+			if res.Cost.Fences < 1 || res.Cost.InstrAfter != res.Cost.InstrBefore+res.Cost.Inserted {
 				t.Errorf("%s: inconsistent cost %+v", c.Name, res.Cost)
 			}
 			if res.Cost.StatesBefore == 0 || res.Cost.StatesAfter == 0 {
 				t.Errorf("%s: missing exploration-overhead accounting: %+v", c.Name, res.Cost)
+			}
+			// The default strategy is the auto portfolio: the chosen
+			// patch must name its strategy, carry all three attempts on
+			// the wire, and cost no more (by the sequential model) than
+			// the fence-only baseline.
+			if res.Strategy == "" || res.Strategy == spectre.StrategyAuto {
+				t.Errorf("%s: chosen strategy %q", c.Name, res.Strategy)
+			}
+			if len(res.PerStrategy) != 3 {
+				t.Errorf("%s: %d portfolio attempts on the wire, want 3", c.Name, len(res.PerStrategy))
+			}
+			for _, a := range res.PerStrategy {
+				if a.Strategy == spectre.StrategyFence && a.Outcome == spectre.RepairRepaired &&
+					res.Cost.SeqInstrsAfter > a.Cost.SeqInstrsAfter {
+					t.Errorf("%s: chose %s at seq cost %d over fence at %d", c.Name, res.Strategy,
+						res.Cost.SeqInstrsAfter, a.Cost.SeqInstrsAfter)
+				}
 			}
 			// The repaired wrapper must re-analyze clean through the
 			// ordinary Run path too.

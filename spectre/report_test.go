@@ -89,6 +89,38 @@ func TestSymbolicReportGoldenJSON(t *testing.T) {
 	}
 }
 
+// TestRepairGoldenJSON pins the repair wire schema — outcome, chosen
+// strategy, patch sites, per-strategy portfolio rows, and the cost
+// block with the sequential estimates — on a serial auto-portfolio
+// repair of the Figure 1 gadget. Any field drift is a breaking change
+// for downstream consumers and must show up as a diff here.
+// Regenerate deliberately with: go test ./spectre -run Golden -update
+func TestRepairGoldenJSON(t *testing.T) {
+	res, err := mustNew(t).Repair(context.Background(), v1Program(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "repair.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("repair JSON schema drifted from golden fixture\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
 // TestReportJSONRoundTrip checks the schema decodes back into the
 // same values — the property a service consuming findings relies on.
 func TestReportJSONRoundTrip(t *testing.T) {
