@@ -1,0 +1,327 @@
+// Command specload replays the detection corpora against a running
+// spectred and reports throughput, latency percentiles, and cache hit
+// rates — the service's load and correctness harness.
+//
+//	spectred -addr :8321 &
+//	specload -addr http://127.0.0.1:8321 -c 8 -passes 2 -verify -min-hitrate 0.95
+//
+// The corpus is the repo's own: the Kocher cases, the spec-only v1
+// suite, the v1.1 suite (all sent as CTL source), and the paper's
+// gallery figures (sent in builder wire form). Each pass replays every
+// case at the configured concurrency; with -verify every verdict is
+// additionally checked byte-for-byte against an in-process library run
+// (modulo the serving layer's provenance stamps). A non-zero exit
+// means errors, verification mismatches, or a final-pass hit rate
+// under -min-hitrate.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pitchfork/internal/serve"
+	"pitchfork/internal/testcases"
+	"pitchfork/spectre"
+)
+
+type corpusCase struct {
+	name string
+	prog *spectre.Program
+	body []byte
+}
+
+func buildCorpus(sets string) ([]corpusCase, error) {
+	want := make(map[string]bool)
+	for _, s := range strings.Split(sets, ",") {
+		want[strings.TrimSpace(s)] = true
+	}
+	var out []corpusCase
+	addSource := func(name, src string) error {
+		prog, err := spectre.CompileCTL(src, spectre.ModeC)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		body, err := json.Marshal(serve.AnalyzeRequest{Source: src})
+		if err != nil {
+			return err
+		}
+		out = append(out, corpusCase{name: name, prog: prog, body: body})
+		return nil
+	}
+	addCases := func(cs []testcases.Case) error {
+		for _, c := range cs {
+			if err := addSource(c.Name, c.Source()); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if want["kocher"] {
+		if err := addCases(testcases.Kocher()); err != nil {
+			return nil, err
+		}
+	}
+	if want["v1"] {
+		if err := addCases(testcases.SpecOnlyV1()); err != nil {
+			return nil, err
+		}
+	}
+	if want["v11"] {
+		if err := addCases(testcases.V11()); err != nil {
+			return nil, err
+		}
+	}
+	if want["gallery"] {
+		for _, f := range spectre.Gallery() {
+			prog := f.Program()
+			wire, err := json.Marshal(prog)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", f.ID, err)
+			}
+			body, err := json.Marshal(serve.AnalyzeRequest{Program: wire})
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, corpusCase{name: f.ID, prog: prog, body: body})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("corpus %q selected no cases (known: kocher, v1, v11, gallery)", sets)
+	}
+	return out, nil
+}
+
+// passResult summarizes one replay pass.
+type passResult struct {
+	Pass          int     `json:"pass"`
+	Requests      int     `json:"requests"`
+	Errors        int     `json:"errors"`
+	Mismatches    int     `json:"mismatches"`
+	CacheHits     int     `json:"cacheHits"`
+	Coalesced     int     `json:"coalesced"`
+	HitRate       float64 `json:"hitRate"`
+	DurationMS    float64 `json:"durationMS"`
+	ThroughputRPS float64 `json:"throughputRPS"`
+	P50MS         float64 `json:"p50MS"`
+	P90MS         float64 `json:"p90MS"`
+	P99MS         float64 `json:"p99MS"`
+}
+
+type summary struct {
+	Corpus int                  `json:"corpus"`
+	Passes []passResult         `json:"passes"`
+	Stats  *serve.StatsResponse `json:"stats,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8321", "spectred base URL")
+	conc := flag.Int("c", 8, "concurrent requests")
+	passes := flag.Int("passes", 2, "replay passes over the corpus")
+	sets := flag.String("corpus", "kocher,v1,v11,gallery", "comma-separated corpora to replay")
+	verify := flag.Bool("verify", false, "check every verdict byte-for-byte against the in-process library path")
+	minHitRate := flag.Float64("min-hitrate", 0, "fail unless the final pass's hit rate reaches this")
+	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the daemon's /healthz")
+	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("specload: ")
+
+	cases, err := buildCorpus(*sets)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := waitHealthy(*addr, *wait); err != nil {
+		log.Fatal(err)
+	}
+
+	// The reference verdicts, computed in-process with the same default
+	// configuration the daemon resolves for config-less requests.
+	var want map[string][]byte
+	if *verify {
+		an, err := spectre.New()
+		if err != nil {
+			log.Fatal(err)
+		}
+		want = make(map[string][]byte, len(cases))
+		for _, c := range cases {
+			rep, err := an.Run(context.Background(), c.prog)
+			if err != nil {
+				log.Fatalf("%s: library run: %v", c.name, err)
+			}
+			raw, err := json.Marshal(rep)
+			if err != nil {
+				log.Fatal(err)
+			}
+			want[c.name] = raw
+		}
+	}
+
+	sum := summary{Corpus: len(cases)}
+	failed := false
+	for pass := 1; pass <= *passes; pass++ {
+		res := runPass(pass, *addr, *conc, cases, want)
+		sum.Passes = append(sum.Passes, res)
+		if res.Errors > 0 || res.Mismatches > 0 {
+			failed = true
+		}
+		if !*jsonOut {
+			printPass(res)
+		}
+	}
+	if stats, err := fetchStats(*addr); err == nil {
+		sum.Stats = stats
+		if !*jsonOut {
+			printStats(stats)
+		}
+	}
+
+	final := sum.Passes[len(sum.Passes)-1]
+	if final.HitRate < *minHitRate {
+		log.Printf("FAIL: final-pass hit rate %.2f < required %.2f", final.HitRate, *minHitRate)
+		failed = true
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(&sum) //nolint:errcheck // stdout
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func runPass(pass int, addr string, conc int, cases []corpusCase, want map[string][]byte) passResult {
+	res := passResult{Pass: pass, Requests: len(cases)}
+	latencies := make([]time.Duration, len(cases))
+	var mu sync.Mutex // guards the error/hit counters
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, c := range cases {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			env, err := postAnalyze(addr, c.body)
+			latencies[i] = time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				log.Printf("pass %d %s: %v", pass, c.name, err)
+				res.Errors++
+				return
+			}
+			if env.Report.CacheHit {
+				res.CacheHits++
+			}
+			if env.Report.Coalesced {
+				res.Coalesced++
+			}
+			if want != nil {
+				env.Report.SchemaVersion = ""
+				env.Report.CacheHit = false
+				env.Report.Coalesced = false
+				got, _ := json.Marshal(env.Report)
+				if !bytes.Equal(got, want[c.name]) {
+					log.Printf("pass %d %s: verdict diverged from the library path", pass, c.name)
+					res.Mismatches++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.HitRate = float64(res.CacheHits+res.Coalesced) / float64(len(cases))
+	res.DurationMS = float64(elapsed.Microseconds()) / 1000
+	res.ThroughputRPS = float64(len(cases)) / elapsed.Seconds()
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(latencies)-1))
+		return float64(latencies[idx].Microseconds()) / 1000
+	}
+	res.P50MS, res.P90MS, res.P99MS = pct(0.50), pct(0.90), pct(0.99)
+	return res
+}
+
+func postAnalyze(addr string, body []byte) (*serve.AnalyzeResponse, error) {
+	resp, err := http.Post(addr+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+	}
+	var env serve.AnalyzeResponse
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, err
+	}
+	if env.Report == nil {
+		return nil, fmt.Errorf("response carries no report")
+	}
+	return &env, nil
+}
+
+func waitHealthy(addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(addr + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not healthy after %s: %v", addr, budget, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fetchStats(addr string) (*serve.StatsResponse, error) {
+	resp, err := http.Get(addr + "/statsz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var stats serve.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return nil, err
+	}
+	return &stats, nil
+}
+
+func printPass(r passResult) {
+	verdicts := ""
+	if r.Mismatches > 0 {
+		verdicts = fmt.Sprintf("  MISMATCHES %d", r.Mismatches)
+	}
+	fmt.Printf("pass %d: %d requests in %.0fms  %.1f req/s  hit rate %.2f (%d cached, %d coalesced)  p50 %.1fms  p90 %.1fms  p99 %.1fms  errors %d%s\n",
+		r.Pass, r.Requests, r.DurationMS, r.ThroughputRPS, r.HitRate,
+		r.CacheHits, r.Coalesced, r.P50MS, r.P90MS, r.P99MS, r.Errors, verdicts)
+}
+
+func printStats(s *serve.StatsResponse) {
+	fmt.Printf("statsz: %d requests (%d analyze, %d repair)  %d analyses  hits %d mem / %d disk  %d coalesced  %d rejected  %d errors  hit rate %.2f\n",
+		s.Requests, s.AnalyzeRequests, s.RepairRequests, s.Analyses,
+		s.MemHits, s.DiskHits, s.Coalesced, s.Rejected, s.Errors, s.CacheHitRate)
+}

@@ -32,9 +32,15 @@
 //	            │                   ┌─────────┴──────────┐       ┌──────────────────────────┐
 //	            └──────────────────▶│  spectre (façade)  │◀──────│ internal/repair          │
 //	              certificates ·    │  Analyzer · Repair │       │ mitigation portfolio:    │
-//	              repair ranking    └────────────────────┘       │ fence · mask · ret over  │
-//	                                                             │ internal/isa patch plans │
-//	                                                             └──────────────────────────┘
+//	              repair ranking    └─────────┬──────────┘       │ fence · mask · ret over  │
+//	                                          │                  │ internal/isa patch plans │
+//	                                          ▼                  └──────────────────────────┘
+//	                                ┌─────────────────────────────────┐
+//	                                │ internal/serve (service layer)  │
+//	                                │ verdict cache (LRU + disk) ·    │
+//	                                │ coalescing · bounded pool       │
+//	                                │ cmd/spectred · cmd/specload     │
+//	                                └─────────────────────────────────┘
 //
 // Because both domains share the engine, every scaling feature —
 // WithWorkers parallelism, WithDedup state pruning, MaxStates /
@@ -68,7 +74,13 @@
 // The supported API surface is the spectre package (pitchfork/spectre):
 // a ProgramBuilder, an Analyzer with functional options and streaming,
 // context-aware analysis, a stable JSON report schema, and automatic
-// portfolio repair (Repair/RepairAll). See README.md for the tour and
+// portfolio repair (Repair/RepairAll). The service layer
+// (internal/serve behind cmd/spectred) exposes the same façade over
+// HTTP for CI-shaped repeat traffic: verdicts cached under
+// (Program.Fingerprint, Config.CacheKey) in a memory LRU plus a
+// restart-surviving disk tier, in-flight coalescing of identical
+// submissions, and queue backpressure; cmd/specload replays the
+// detection corpora against it. See README.md for the tour and
 // quickstart. The implementation lives under internal/; the root
 // package holds only the repository-level benchmark harness
 // (bench_test.go) and the cross-domain differential and determinism

@@ -1,0 +1,192 @@
+// Package serve is the analysis-as-a-service layer behind cmd/spectred:
+// a verdict cache keyed by (program fingerprint, canonical options
+// key), request coalescing for in-flight duplicates, a bounded worker
+// pool with queue backpressure, and the versioned HTTP API that serves
+// the spectre façade to CI-shaped traffic.
+//
+// The cache observation is Serberus's: Spectre checking as a pipeline
+// stage sees highly repetitive traffic — the same program at the same
+// configuration, submitted on every CI run — so verdicts keyed by
+// content hash make the common case O(1). The two cache tiers split
+// the latency/durability trade: an in-memory LRU answers the steady
+// state, an on-disk tier survives restarts (a redeployed daemon starts
+// warm). Coalescing covers the remaining repetitive case the cache
+// cannot: N identical submissions in flight at once share one
+// analysis.
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Tier identifies where a cache read was answered.
+type Tier int
+
+const (
+	// TierNone is a miss.
+	TierNone Tier = iota
+	// TierMem is an in-memory LRU hit.
+	TierMem
+	// TierDisk is a persistent-tier hit (promoted to memory on read).
+	TierDisk
+)
+
+// Cache is the two-tier verdict cache. Keys are filename-safe strings
+// (the server derives them from hex digests); values are opaque
+// response bytes. The memory tier is a bounded LRU; the disk tier —
+// enabled by a non-empty directory — holds every entry ever stored,
+// written atomically, and is what makes verdicts survive a daemon
+// restart. All methods are safe for concurrent use.
+//
+// The disk tier is best-effort: a failed write or unreadable file
+// degrades to a miss (the analysis simply reruns) rather than failing
+// the request; failures are counted for /statsz.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	cap     int
+	dir     string
+
+	diskErrs int64
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a cache holding at most memEntries values in memory
+// (minimum 1). A non-empty dir enables the persistent tier; the
+// directory is created if needed.
+func NewCache(memEntries int, dir string) (*Cache, error) {
+	if memEntries < 1 {
+		memEntries = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: cache dir: %w", err)
+		}
+	}
+	return &Cache{
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+		cap:     memEntries,
+		dir:     dir,
+	}, nil
+}
+
+// Get returns the cached value for key and the tier that answered. A
+// disk-tier hit is promoted into the memory tier.
+func (c *Cache) Get(key string) ([]byte, Tier) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, TierMem
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, TierNone
+	}
+	val, err := os.ReadFile(c.diskPath(key))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			c.mu.Lock()
+			c.diskErrs++
+			c.mu.Unlock()
+		}
+		return nil, TierNone
+	}
+	c.mu.Lock()
+	c.insertLocked(key, val)
+	c.mu.Unlock()
+	return val, TierDisk
+}
+
+// Put stores the value in both tiers.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	c.insertLocked(key, val)
+	c.mu.Unlock()
+	if c.dir == "" {
+		return
+	}
+	// Atomic publication: never let a reader (or a restarted daemon)
+	// observe a torn entry.
+	tmp := c.diskPath(key) + ".tmp"
+	err := os.WriteFile(tmp, val, 0o644)
+	if err == nil {
+		err = os.Rename(tmp, c.diskPath(key))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		c.mu.Lock()
+		c.diskErrs++
+		c.mu.Unlock()
+	}
+}
+
+func (c *Cache) insertLocked(key string, val []byte) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, val: val})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Keys returns every key present in either tier — how the server
+// rebuilds its fingerprint index after a restart.
+func (c *Cache) Keys() []string {
+	seen := make(map[string]bool)
+	var out []string
+	c.mu.Lock()
+	for k := range c.entries {
+		seen[k] = true
+		out = append(out, k)
+	}
+	c.mu.Unlock()
+	if c.dir != "" {
+		if names, err := os.ReadDir(c.dir); err == nil {
+			for _, n := range names {
+				key, ok := strings.CutSuffix(n.Name(), ".json")
+				if !ok || seen[key] {
+					continue
+				}
+				out = append(out, key)
+			}
+		}
+	}
+	return out
+}
+
+// MemLen returns the number of memory-tier entries.
+func (c *Cache) MemLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// DiskErrors returns the count of persistent-tier failures absorbed so
+// far.
+func (c *Cache) DiskErrors() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diskErrs
+}
+
+func (c *Cache) diskPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}

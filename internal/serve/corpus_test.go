@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pitchfork/internal/testcases"
+	"pitchfork/spectre"
+)
+
+// corpusCase is one replayable submission: CTL corpora go over the
+// wire as source text, gallery figures as the builder wire form — the
+// two program forms the service accepts.
+type corpusCase struct {
+	name string
+	prog *spectre.Program
+	body []byte
+}
+
+func corpus(t *testing.T) []corpusCase {
+	t.Helper()
+	var out []corpusCase
+	addSource := func(name, src string) {
+		prog, err := spectre.CompileCTL(src, spectre.ModeC)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		body, err := json.Marshal(AnalyzeRequest{Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, corpusCase{name: name, prog: prog, body: body})
+	}
+	for _, c := range testcases.Kocher() {
+		addSource(c.Name, c.Source())
+	}
+	for _, c := range testcases.SpecOnlyV1() {
+		addSource(c.Name, c.Source())
+	}
+	for _, c := range testcases.V11() {
+		addSource(c.Name, c.Source())
+	}
+	for _, f := range spectre.Gallery() {
+		prog := f.Program()
+		wire, err := json.Marshal(prog)
+		if err != nil {
+			t.Fatalf("%s: %v", f.ID, err)
+		}
+		body, err := json.Marshal(AnalyzeRequest{Program: wire})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, corpusCase{name: f.ID, prog: prog, body: body})
+	}
+	return out
+}
+
+// normalizeReport strips the serving layer's provenance stamps so the
+// wire report can be compared byte-for-byte against the library path.
+func normalizeReport(t *testing.T, rep *spectre.Report) []byte {
+	t.Helper()
+	rep.SchemaVersion = ""
+	rep.CacheHit = false
+	rep.Coalesced = false
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestCorpusReplayAcceptance is the PR's acceptance gate: replay the
+// full corpora (Kocher + spec-only v1 + v1.1 + the paper gallery)
+// against a live server twice at concurrency 8. Every verdict — both
+// passes — must be byte-identical to the library path modulo the
+// provenance stamps, and the second pass must be ≥95% cache hits.
+func TestCorpusReplayAcceptance(t *testing.T) {
+	cases := corpus(t)
+
+	// The library path: the verdicts the service must reproduce
+	// byte-for-byte. Default configuration (the same one the service
+	// resolves for requests carrying no config).
+	an, err := spectre.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[string][]byte, len(cases))
+	for _, c := range cases {
+		rep, err := an.Run(context.Background(), c.prog)
+		if err != nil {
+			t.Fatalf("%s: library run: %v", c.name, err)
+		}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[c.name] = raw
+	}
+
+	s := newTestServer(t, Config{Workers: 4, QueueDepth: 256, MemEntries: 1024, CacheDir: t.TempDir()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for pass := 1; pass <= 2; pass++ {
+		var hits atomic.Int64
+		sem := make(chan struct{}, 8)
+		var wg sync.WaitGroup
+		for _, c := range cases {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				resp, raw := postAnalyze(t, ts.URL, c.body)
+				if resp.StatusCode != 200 {
+					t.Errorf("pass %d %s: status %d: %s", pass, c.name, resp.StatusCode, raw)
+					return
+				}
+				env := decodeAnalyze(t, raw)
+				if env.Report == nil {
+					t.Errorf("pass %d %s: no report", pass, c.name)
+					return
+				}
+				if env.Fingerprint != c.prog.Fingerprint() {
+					t.Errorf("pass %d %s: fingerprint drifted", pass, c.name)
+				}
+				if env.Report.SchemaVersion != spectre.ReportSchemaVersion {
+					t.Errorf("pass %d %s: schemaVersion %q, want %q",
+						pass, c.name, env.Report.SchemaVersion, spectre.ReportSchemaVersion)
+				}
+				if env.Report.CacheHit || env.Report.Coalesced {
+					hits.Add(1)
+				}
+				if got := normalizeReport(t, env.Report); !bytes.Equal(got, want[c.name]) {
+					t.Errorf("pass %d %s: service verdict diverged from the library path\n got %s\nwant %s",
+						pass, c.name, got, want[c.name])
+				}
+			}()
+		}
+		wg.Wait()
+		if pass == 2 {
+			rate := float64(hits.Load()) / float64(len(cases))
+			if rate < 0.95 {
+				t.Errorf("second-pass cache hit rate %.2f (%d/%d), want ≥ 0.95",
+					rate, hits.Load(), len(cases))
+			}
+		}
+	}
+
+	stats := s.Stats()
+	if stats.Analyses > int64(len(cases)) {
+		t.Errorf("ran %d analyses for %d distinct programs over two passes", stats.Analyses, len(cases))
+	}
+	if stats.DiskErrors != 0 {
+		t.Errorf("%d persistent-tier failures", stats.DiskErrors)
+	}
+}

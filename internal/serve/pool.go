@@ -1,0 +1,68 @@
+package serve
+
+import "sync"
+
+// pool is the bounded worker pool every analysis runs on: a fixed
+// number of workers draining a fixed-depth queue. Admission is
+// non-blocking — trySubmit either enqueues or reports the queue full —
+// which is what gives the HTTP layer honest backpressure (429) instead
+// of unbounded goroutines and latency collapse under overload.
+type pool struct {
+	mu     sync.Mutex
+	jobs   chan func()
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func newPool(workers, depth int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	p := &pool{jobs: make(chan func(), depth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.jobs {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// trySubmit enqueues fn if queue capacity remains, and reports whether
+// it did. It never blocks. After drain it always reports false.
+func (p *pool) trySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// drain stops admission, then waits for every queued and running job
+// to finish — the graceful-shutdown half of SIGTERM handling.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// queueDepth returns the number of jobs waiting (not yet picked up).
+func (p *pool) queueDepth() int {
+	return len(p.jobs)
+}

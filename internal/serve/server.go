@@ -1,0 +1,584 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pitchfork/spectre"
+)
+
+// Config sizes the service. Zero values pick the documented defaults.
+type Config struct {
+	// Workers is the number of analyses that may execute at once
+	// (default runtime.NumCPU()).
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a
+	// worker; a full queue turns into HTTP 429 (default 64).
+	QueueDepth int
+	// MemEntries caps the in-memory cache tier (default 1024).
+	MemEntries int
+	// CacheDir enables the persistent cache tier; empty disables it.
+	CacheDir string
+	// Timeout is the per-request analysis budget, measured from the
+	// moment a worker picks the job up (default 60s; <0 disables).
+	Timeout time.Duration
+	// MaxBodyBytes caps request bodies (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MemEntries <= 0 {
+		c.MemEntries = 1024
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	return c
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze and POST /v1/repair.
+// Exactly one of Source (CTL text, compiled with Mode) or Program (the
+// builder wire form, spectre.Program's JSON encoding) must be set.
+// Config, when present, is a partial spectre.Config document overlaid
+// on DefaultConfig. SchemaVersion, when present, must name a schema
+// revision the server speaks.
+type AnalyzeRequest struct {
+	SchemaVersion   string          `json:"schemaVersion,omitempty"`
+	Source          string          `json:"source,omitempty"`
+	Mode            string          `json:"mode,omitempty"`
+	SymbolicGlobals []string        `json:"symbolicGlobals,omitempty"`
+	Program         json.RawMessage `json:"program,omitempty"`
+	Config          json.RawMessage `json:"config,omitempty"`
+}
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze and of
+// GET /v1/report/{fingerprint}. The cached form stores the report with
+// provenance unset; CacheHit/Coalesced are stamped per response.
+type AnalyzeResponse struct {
+	Fingerprint string          `json:"fingerprint"`
+	CacheKey    string          `json:"cacheKey"`
+	Report      *spectre.Report `json:"report"`
+}
+
+// RepairResponse is the body of a successful POST /v1/repair.
+// Provenance lives on the envelope: a repair verdict is one result,
+// not two reports, so CacheHit/Coalesced qualify the whole response.
+type RepairResponse struct {
+	Fingerprint string                `json:"fingerprint"`
+	CacheKey    string                `json:"cacheKey"`
+	CacheHit    bool                  `json:"cacheHit,omitempty"`
+	Coalesced   bool                  `json:"coalesced,omitempty"`
+	Result      *spectre.RepairResult `json:"result"`
+	// RepairedProgram is the repaired program in builder wire form when
+	// the repair rewrote the program; absent otherwise.
+	RepairedProgram *spectre.Program `json:"repairedProgram,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// StatsResponse is the body of GET /statsz.
+type StatsResponse struct {
+	UptimeSeconds   float64 `json:"uptimeSeconds"`
+	Requests        int64   `json:"requests"`
+	AnalyzeRequests int64   `json:"analyzeRequests"`
+	RepairRequests  int64   `json:"repairRequests"`
+	MemHits         int64   `json:"memHits"`
+	DiskHits        int64   `json:"diskHits"`
+	Coalesced       int64   `json:"coalesced"`
+	Analyses        int64   `json:"analyses"`
+	Rejected        int64   `json:"rejected"`
+	Errors          int64   `json:"errors"`
+	CacheHitRate    float64 `json:"cacheHitRate"`
+	InFlight        int64   `json:"inFlight"`
+	QueueDepth      int     `json:"queueDepth"`
+	QueueCapacity   int     `json:"queueCapacity"`
+	Workers         int     `json:"workers"`
+	MemEntries      int     `json:"memEntries"`
+	DiskErrors      int64   `json:"diskErrors"`
+}
+
+// errQueueFull is the admission failure trySubmit surfaces; the HTTP
+// layer renders it as 429 + Retry-After.
+var errQueueFull = errors.New("serve: analysis queue full")
+
+// Server is the analysis service: five HTTP endpoints over the
+// two-tier verdict cache, the coalescing flight group, and the bounded
+// worker pool.
+type Server struct {
+	cfg     Config
+	cache   *Cache
+	flights flightGroup
+	pool    *pool
+	mux     *http.ServeMux
+	started time.Time
+
+	// byFP maps a program fingerprint to the most recently stored
+	// analyze cache key for it — the index behind GET /v1/report.
+	fpMu sync.Mutex
+	byFP map[string]string
+
+	requests    atomic.Int64
+	analyzeReqs atomic.Int64
+	repairReqs  atomic.Int64
+	memHits     atomic.Int64
+	diskHits    atomic.Int64
+	coalesced   atomic.Int64
+	analyses    atomic.Int64
+	rejected    atomic.Int64
+	errCount    atomic.Int64
+	inFlight    atomic.Int64
+
+	// runAnalysis and runRepair are the engine entry points. They exist
+	// as fields so service tests can substitute instrumented or blocking
+	// engines; production always uses the spectre methods.
+	runAnalysis func(ctx context.Context, an *spectre.Analyzer, p *spectre.Program) (*spectre.Report, error)
+	runRepair   func(ctx context.Context, an *spectre.Analyzer, p *spectre.Program) (*spectre.RepairResult, error)
+}
+
+// New builds a Server, creating the cache directory if configured and
+// rebuilding the fingerprint index from any persisted entries so
+// GET /v1/report works across restarts.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	cache, err := NewCache(cfg.MemEntries, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		pool:    newPool(cfg.Workers, cfg.QueueDepth),
+		started: time.Now(),
+		byFP:    make(map[string]string),
+		runAnalysis: func(ctx context.Context, an *spectre.Analyzer, p *spectre.Program) (*spectre.Report, error) {
+			return an.Run(ctx, p)
+		},
+		runRepair: func(ctx context.Context, an *spectre.Analyzer, p *spectre.Program) (*spectre.RepairResult, error) {
+			return an.Repair(ctx, p)
+		},
+	}
+	for _, key := range cache.Keys() {
+		if fp, ok := analyzeKeyFingerprint(key); ok {
+			s.byFP[fp] = key
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	mux.HandleFunc("GET /v1/report/{fingerprint}", s.handleReport)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops admitting work and waits for every queued and running
+// analysis to finish. Call it after http.Server.Shutdown has stopped
+// new connections; subsequent submissions are rejected with 429.
+func (s *Server) Drain() { s.pool.drain() }
+
+// analyzeKey and repairKey build the cache/flight keys. Both halves
+// are fixed-width lowercase hex (stability-pinned in the spectre
+// package), so the key is filename-safe and doubles as the disk-tier
+// file name.
+func analyzeKey(fp, ck string) string { return "analyze-" + fp + "-" + ck }
+func repairKey(fp, ck string) string  { return "repair-" + fp + "-" + ck }
+
+func analyzeKeyFingerprint(key string) (string, bool) {
+	rest, ok := strings.CutPrefix(key, "analyze-")
+	if !ok {
+		return "", false
+	}
+	fp, _, ok := strings.Cut(rest, "-")
+	return fp, ok
+}
+
+// ---------------------------------------------------------------------
+// Request decoding
+// ---------------------------------------------------------------------
+
+type badRequestError struct{ msg string }
+
+func (e *badRequestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &badRequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeRequest parses the request body and resolves it into a program
+// and an analyzer. All failures are the client's: malformed JSON, an
+// unknown schema version, a program that doesn't validate, a config
+// that doesn't.
+func (s *Server) decodeRequest(r *http.Request) (*spectre.Program, *spectre.Analyzer, error) {
+	var req AnalyzeRequest
+	body := http.MaxBytesReader(nil, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return nil, nil, badRequest("invalid request body: %v", err)
+	}
+	if req.SchemaVersion != "" && req.SchemaVersion != spectre.ReportSchemaVersion {
+		return nil, nil, badRequest("unsupported schema version %q (this server speaks %q)",
+			req.SchemaVersion, spectre.ReportSchemaVersion)
+	}
+
+	var prog *spectre.Program
+	switch {
+	case req.Source != "" && len(req.Program) > 0:
+		return nil, nil, badRequest("request sets both source and program; send exactly one")
+	case req.Source != "":
+		mode := spectre.ModeC
+		if req.Mode != "" {
+			var err error
+			if mode, err = spectre.ParseSourceMode(req.Mode); err != nil {
+				return nil, nil, badRequest("%v", err)
+			}
+		}
+		p, err := spectre.CompileCTL(req.Source, mode)
+		if err != nil {
+			return nil, nil, badRequest("compile: %v", err)
+		}
+		prog = p
+	case len(req.Program) > 0:
+		var p spectre.Program
+		if err := json.Unmarshal(req.Program, &p); err != nil {
+			return nil, nil, badRequest("program wire form: %v", err)
+		}
+		prog = &p
+	default:
+		return nil, nil, badRequest("request must set source or program")
+	}
+	for _, g := range req.SymbolicGlobals {
+		if !prog.SymbolicGlobal(g, g) {
+			return nil, nil, badRequest("unknown symbolic global %q", g)
+		}
+	}
+
+	cfg := spectre.DefaultConfig()
+	if len(req.Config) > 0 {
+		if err := json.Unmarshal(req.Config, &cfg); err != nil {
+			return nil, nil, badRequest("config: %v", err)
+		}
+	}
+	an, err := spectre.NewFromConfig(cfg)
+	if err != nil {
+		return nil, nil, badRequest("%v", err)
+	}
+	return prog, an, nil
+}
+
+// ---------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.analyzeReqs.Add(1)
+	prog, an, err := s.decodeRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fp := prog.Fingerprint()
+	ck := an.Config().CacheKey()
+	key := analyzeKey(fp, ck)
+
+	if raw, tier := s.cache.Get(key); tier != TierNone {
+		s.recordHit(tier)
+		s.indexFingerprint(fp, key)
+		s.writeAnalyze(w, raw, true, false)
+		return
+	}
+
+	raw, coalesced, err := s.flights.Do(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+		return s.runJob(ctx, func(runCtx context.Context) ([]byte, error) {
+			rep, err := s.runAnalysis(runCtx, an, prog)
+			if err != nil {
+				return nil, err
+			}
+			rep.SchemaVersion = spectre.ReportSchemaVersion
+			out, err := json.Marshal(AnalyzeResponse{Fingerprint: fp, CacheKey: ck, Report: rep})
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(key, out)
+			s.indexFingerprint(fp, key)
+			return out, nil
+		})
+	})
+	if coalesced {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		s.writeJobError(w, r, err)
+		return
+	}
+	s.writeAnalyze(w, raw, false, coalesced)
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.repairReqs.Add(1)
+	prog, an, err := s.decodeRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fp := prog.Fingerprint()
+	ck := an.Config().CacheKey()
+	key := repairKey(fp, ck)
+
+	if raw, tier := s.cache.Get(key); tier != TierNone {
+		s.recordHit(tier)
+		s.writeRepair(w, raw, true, false)
+		return
+	}
+
+	raw, coalesced, err := s.flights.Do(r.Context(), key, func(ctx context.Context) ([]byte, error) {
+		return s.runJob(ctx, func(runCtx context.Context) ([]byte, error) {
+			res, err := s.runRepair(runCtx, an, prog)
+			if err != nil {
+				return nil, err
+			}
+			if res.Before != nil {
+				res.Before.SchemaVersion = spectre.ReportSchemaVersion
+			}
+			if res.After != nil {
+				res.After.SchemaVersion = spectre.ReportSchemaVersion
+			}
+			env := RepairResponse{Fingerprint: fp, CacheKey: ck, Result: res}
+			if res.Outcome == spectre.RepairRepaired {
+				env.RepairedProgram = res.Program
+			}
+			out, err := json.Marshal(env)
+			if err != nil {
+				return nil, err
+			}
+			s.cache.Put(key, out)
+			return out, nil
+		})
+	})
+	if coalesced {
+		s.coalesced.Add(1)
+	}
+	if err != nil {
+		s.writeJobError(w, r, err)
+		return
+	}
+	s.writeRepair(w, raw, false, coalesced)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	fp := r.PathValue("fingerprint")
+	s.fpMu.Lock()
+	key, ok := s.byFP[fp]
+	s.fpMu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no cached report for fingerprint %s", fp))
+		return
+	}
+	raw, tier := s.cache.Get(key)
+	if tier == TierNone {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("report for fingerprint %s evicted", fp))
+		return
+	}
+	s.recordHit(tier)
+	s.writeAnalyze(w, raw, true, false)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() StatsResponse {
+	hits := s.memHits.Load() + s.diskHits.Load()
+	verdictReqs := s.analyzeReqs.Load() + s.repairReqs.Load()
+	rate := 0.0
+	if verdictReqs > 0 {
+		rate = float64(hits) / float64(verdictReqs)
+	}
+	return StatsResponse{
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Requests:        s.requests.Load(),
+		AnalyzeRequests: s.analyzeReqs.Load(),
+		RepairRequests:  s.repairReqs.Load(),
+		MemHits:         s.memHits.Load(),
+		DiskHits:        s.diskHits.Load(),
+		Coalesced:       s.coalesced.Load(),
+		Analyses:        s.analyses.Load(),
+		Rejected:        s.rejected.Load(),
+		Errors:          s.errCount.Load(),
+		CacheHitRate:    rate,
+		InFlight:        s.inFlight.Load(),
+		QueueDepth:      s.pool.queueDepth(),
+		QueueCapacity:   s.cfg.QueueDepth,
+		Workers:         s.cfg.Workers,
+		MemEntries:      s.cache.MemLen(),
+		DiskErrors:      s.cache.DiskErrors(),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Job execution
+// ---------------------------------------------------------------------
+
+type jobResult struct {
+	raw []byte
+	err error
+}
+
+// runJob admits work onto the bounded pool and waits for it. ctx is
+// the flight context: it stays live while any request is waiting on
+// this job and is cancelled when the last one leaves, which is how a
+// dropped client connection propagates into the analysis. The
+// per-request budget starts when a worker picks the job up, so queue
+// wait doesn't eat analysis time.
+func (s *Server) runJob(ctx context.Context, run func(context.Context) ([]byte, error)) ([]byte, error) {
+	res := make(chan jobResult, 1)
+	admitted := s.pool.trySubmit(func() {
+		if err := ctx.Err(); err != nil {
+			res <- jobResult{err: err}
+			return
+		}
+		s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
+		runCtx, cancel := ctx, func() {}
+		if s.cfg.Timeout > 0 {
+			runCtx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		}
+		defer cancel()
+		raw, err := run(runCtx)
+		switch {
+		case err == nil:
+			s.analyses.Add(1)
+		case errors.Is(err, context.Canceled):
+			// Abandoned flight — every waiter left. Not a service error.
+		default:
+			s.errCount.Add(1)
+		}
+		res <- jobResult{raw: raw, err: err}
+	})
+	if !admitted {
+		s.rejected.Add(1)
+		return nil, errQueueFull
+	}
+	jr := <-res
+	return jr.raw, jr.err
+}
+
+// ---------------------------------------------------------------------
+// Response writing
+// ---------------------------------------------------------------------
+
+func (s *Server) recordHit(tier Tier) {
+	switch tier {
+	case TierMem:
+		s.memHits.Add(1)
+	case TierDisk:
+		s.diskHits.Add(1)
+	}
+}
+
+func (s *Server) indexFingerprint(fp, key string) {
+	s.fpMu.Lock()
+	s.byFP[fp] = key
+	s.fpMu.Unlock()
+}
+
+// writeAnalyze sends a cached analyze envelope, stamping the report's
+// cache provenance for this response. The cached bytes always have
+// both flags unset, so the fast path — a fresh analysis — writes them
+// through untouched.
+func (s *Server) writeAnalyze(w http.ResponseWriter, raw []byte, cacheHit, coalesced bool) {
+	if !cacheHit && !coalesced {
+		s.writeRaw(w, raw)
+		return
+	}
+	var env AnalyzeResponse
+	if err := json.Unmarshal(raw, &env); err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("corrupt cache entry: %w", err))
+		return
+	}
+	if env.Report != nil {
+		env.Report.CacheHit = cacheHit
+		env.Report.Coalesced = coalesced
+	}
+	s.writeJSON(w, http.StatusOK, env)
+}
+
+func (s *Server) writeRepair(w http.ResponseWriter, raw []byte, cacheHit, coalesced bool) {
+	if !cacheHit && !coalesced {
+		s.writeRaw(w, raw)
+		return
+	}
+	var env RepairResponse
+	if err := json.Unmarshal(raw, &env); err != nil {
+		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("corrupt cache entry: %w", err))
+		return
+	}
+	env.CacheHit = cacheHit
+	env.Coalesced = coalesced
+	s.writeJSON(w, http.StatusOK, env)
+}
+
+func (s *Server) writeRaw(w http.ResponseWriter, raw []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw) //nolint:errcheck // client gone; nothing to do
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+// writeJobError maps an analysis failure onto HTTP semantics: a full
+// queue is backpressure (429 + Retry-After), an exhausted budget is a
+// gateway timeout, a request whose client already left gets nothing.
+func (s *Server) writeJobError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("analysis exceeded the %s budget", s.cfg.Timeout))
+	case r.Context().Err() != nil:
+		// The client disconnected; the connection is dead.
+	default:
+		s.writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
+	s.writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}

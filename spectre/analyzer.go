@@ -25,20 +25,22 @@ func pruneHints(rep *taint.Report) sched.PruneHints {
 // immutable after construction and safe to reuse across runs; each Run
 // operates on a fresh machine built from the program.
 type Analyzer struct {
-	cfg config
+	cfg Config
 }
 
 // New constructs an Analyzer from functional options. With no options
 // the analyzer runs concrete-mode analysis at DefaultBound with
-// forwarding-hazard detection enabled.
+// forwarding-hazard detection enabled. The equivalent explicit-struct
+// construction is NewFromConfig; the resolved configuration is
+// available afterwards through Analyzer.Config.
 func New(opts ...Option) (*Analyzer, error) {
-	cfg := defaultConfig()
+	cfg := DefaultConfig()
 	for _, o := range opts {
 		if err := o(&cfg); err != nil {
 			return nil, err
 		}
 	}
-	return &Analyzer{cfg: cfg}, nil
+	return NewFromConfig(cfg)
 }
 
 // Run analyzes the program to completion (or until the context is
@@ -48,7 +50,7 @@ func New(opts ...Option) (*Analyzer, error) {
 // partial report — findings discovered so far, with Interrupted set —
 // is returned alongside the context's error.
 func (a *Analyzer) Run(ctx context.Context, p *Program) (*Report, error) {
-	return a.run(ctx, p, a.cfg.bound, a.cfg.forwardHazards, nil)
+	return a.run(ctx, p, a.cfg.Bound, a.cfg.ForwardHazards, nil)
 }
 
 // Stream is Run with a streaming callback: yield is invoked
@@ -60,7 +62,7 @@ func (a *Analyzer) Stream(ctx context.Context, p *Program, yield func(Finding) b
 	if yield == nil {
 		return nil, fmt.Errorf("spectre: Stream requires a non-nil yield callback")
 	}
-	return a.run(ctx, p, a.cfg.bound, a.cfg.forwardHazards, yield)
+	return a.run(ctx, p, a.cfg.Bound, a.cfg.ForwardHazards, yield)
 }
 
 // Findings returns an iterator over findings, for range-over-func
@@ -145,7 +147,7 @@ func (a *Analyzer) RunProcedure(ctx context.Context, p *Program) (*ProcedureRepo
 // wiring context cancellation and the streaming callback into the
 // exploration hooks.
 func (a *Analyzer) run(ctx context.Context, p *Program, bound int, fwd bool, yield func(Finding) bool) (*Report, error) {
-	return a.runWith(ctx, p, bound, fwd, yield, a.cfg.workers)
+	return a.runWith(ctx, p, bound, fwd, yield, a.cfg.Workers)
 }
 
 // runWith is run with an explicit worker count — the batch API fans
@@ -159,7 +161,7 @@ func (a *Analyzer) runWith(ctx context.Context, p *Program, bound int, fwd bool,
 		ctx = context.Background()
 	}
 	var static *taint.Report
-	if a.cfg.staticPass {
+	if a.cfg.StaticPass {
 		var err error
 		static, err = staticAnalyze(p)
 		if err != nil {
@@ -182,12 +184,12 @@ func (a *Analyzer) runWith(ctx context.Context, p *Program, bound int, fwd bool,
 	opts := pitchfork.Options{
 		Bound:          bound,
 		ForwardHazards: fwd,
-		MaxStates:      a.cfg.maxStates,
-		MaxRetired:     a.cfg.maxRetired,
-		StopAtFirst:    a.cfg.stopAtFirst,
+		MaxStates:      a.cfg.MaxStates,
+		MaxRetired:     a.cfg.MaxRetired,
+		StopAtFirst:    a.cfg.StopAtFirst,
 		Workers:        workers,
-		DedupEntries:   a.cfg.dedupEntries,
-		SolverSeed:     a.cfg.solverSeed,
+		DedupEntries:   a.cfg.DedupEntries,
+		SolverSeed:     a.cfg.SolverSeed,
 		Interrupt:      func() bool { return ctx.Err() != nil },
 		Prune:          pruneHints(static),
 	}
@@ -198,7 +200,7 @@ func (a *Analyzer) runWith(ctx context.Context, p *Program, bound int, fwd bool,
 	}
 	var irep pitchfork.Report
 	var err error
-	if a.cfg.symbolic {
+	if a.cfg.Symbolic {
 		irep, err = pitchfork.AnalyzeSymbolic(p.symMachine(), opts)
 	} else {
 		irep, err = pitchfork.Analyze(p.machine(), opts)

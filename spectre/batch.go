@@ -40,7 +40,7 @@ func (a *Analyzer) AnalyzeBatch(ctx context.Context, items []BatchItem) []BatchR
 	for i, it := range items {
 		out[i].Name = it.Name
 	}
-	workers := a.cfg.workers
+	workers := a.cfg.Workers
 	if workers > len(items) {
 		workers = len(items)
 	}
@@ -59,7 +59,7 @@ func (a *Analyzer) AnalyzeBatch(ctx context.Context, items []BatchItem) []BatchR
 					out[i].Err = fmt.Errorf("spectre: batch item %d (%q): nil program", i, it.Name)
 					continue
 				}
-				out[i].Report, out[i].Err = a.runWith(ctx, it.Program, a.cfg.bound, a.cfg.forwardHazards, nil, 1)
+				out[i].Report, out[i].Err = a.runWith(ctx, it.Program, a.cfg.Bound, a.cfg.ForwardHazards, nil, 1)
 			}
 		}()
 	}

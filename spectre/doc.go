@@ -57,4 +57,44 @@
 // See the package example for a complete builder → analyze → findings
 // walk-through on the classic Spectre v1 bounds-check-bypass gadget
 // (Kocher case 1).
+//
+// # Configuration as data
+//
+// The functional options are a thin layer over an exported,
+// JSON-serializable Config: New applies options to DefaultConfig and
+// hands the result to NewFromConfig, so the two construction paths are
+// interchangeable and Analyzer.Config returns the resolved snapshot
+// either way. A partial JSON document unmarshalled onto DefaultConfig
+// is the supported deserialization recipe — absent fields keep their
+// defaults. Config.CacheKey derives a canonical digest over every
+// field, with the invariant that two configurations whose reports can
+// differ in any byte never share a key.
+//
+// # Wire schema versioning
+//
+// The JSON encodings of Report, Finding, Observation, RepairResult,
+// Config, and the Program wire form are a stable schema, pinned by
+// golden fixtures under testdata/. The compatibility policy:
+//
+//   - ReportSchemaVersion names the current schema revision ("1").
+//     Within a revision, changes are strictly additive and new fields
+//     are omitempty, so existing encodings remain byte-identical and
+//     old readers ignore what they don't know. Renaming, removing, or
+//     re-typing a field requires a new revision.
+//
+//   - A Report with an empty SchemaVersion is revision "1": the field
+//     was introduced omitempty precisely so library-produced encodings
+//     did not change. The serving layer (cmd/spectred) stamps it
+//     explicitly on every response; library callers may ignore it.
+//
+//   - Program.Fingerprint and Config.CacheKey are stability-pinned to
+//     fixed digests over a fixed corpus (stability_test.go), because
+//     persisted verdict caches key on them. Any change that rotates
+//     either digest must bump the corresponding version tag (the
+//     program wire form's version field, the config key's domain
+//     prefix) so old cache entries are orphaned, never aliased.
+//
+//   - CacheHit and Coalesced on Report are serving-layer provenance:
+//     the library never sets them, and equal-keyed requests are
+//     guaranteed byte-identical reports only after clearing them.
 package spectre

@@ -18,45 +18,22 @@ const (
 	DefaultBound = BoundWithHazards
 )
 
-// config is the unified analysis configuration the functional options
-// populate. It subsumes the option sets of the internal detector and
-// scheduler packages.
-type config struct {
-	bound          int
-	forwardHazards bool
-	maxStates      int
-	maxRetired     int
-	stopAtFirst    bool
-	symbolic       bool
-	solverSeed     int64
-	workers        int
-	dedupEntries   int
-	staticPass     bool
-	repairStrategy string
-}
-
-func defaultConfig() config {
-	return config{
-		bound:          DefaultBound,
-		forwardHazards: true,
-		workers:        1,
-		repairStrategy: StrategyAuto,
-	}
-}
-
-// Option configures an Analyzer.
-type Option func(*config) error
+// Option configures an Analyzer. Options are a thin layer over the
+// serializable Config struct: each one validates its argument and sets
+// the corresponding field, so New(opts…) and NewFromConfig(cfg) are
+// two spellings of the same construction.
+type Option func(*Config) error
 
 // WithBound sets the speculation bound: the maximum reorder-buffer
 // size, hence the maximum speculation depth. The paper's evaluation
 // uses 250 without forwarding-hazard detection and 20 with it. The
 // bound must be positive.
 func WithBound(n int) Option {
-	return func(c *config) error {
+	return func(c *Config) error {
 		if n < 1 {
 			return fmt.Errorf("spectre: speculation bound must be positive, got %d", n)
 		}
-		c.bound = n
+		c.Bound = n
 		return nil
 	}
 }
@@ -66,8 +43,8 @@ func WithBound(n int) Option {
 // It is enabled by default; disabling it makes deep bounds like
 // BoundNoHazards tractable.
 func WithForwardHazards(on bool) Option {
-	return func(c *config) error {
-		c.forwardHazards = on
+	return func(c *Config) error {
+		c.ForwardHazards = on
 		return nil
 	}
 }
@@ -75,11 +52,11 @@ func WithForwardHazards(on bool) Option {
 // WithMaxStates bounds the number of explored machine states. Zero
 // restores the exploration default; negative is rejected.
 func WithMaxStates(n int) Option {
-	return func(c *config) error {
+	return func(c *Config) error {
 		if n < 0 {
 			return fmt.Errorf("spectre: max states must be non-negative, got %d", n)
 		}
-		c.maxStates = n
+		c.MaxStates = n
 		return nil
 	}
 }
@@ -88,19 +65,19 @@ func WithMaxStates(n int) Option {
 // (the budget that terminates non-halting programs). Zero restores the
 // default; negative is rejected.
 func WithMaxRetired(n int) Option {
-	return func(c *config) error {
+	return func(c *Config) error {
 		if n < 0 {
 			return fmt.Errorf("spectre: max retired must be non-negative, got %d", n)
 		}
-		c.maxRetired = n
+		c.MaxRetired = n
 		return nil
 	}
 }
 
 // WithStopAtFirst stops each run at the first finding.
 func WithStopAtFirst(on bool) Option {
-	return func(c *config) error {
-		c.stopAtFirst = on
+	return func(c *Config) error {
+		c.StopAtFirst = on
 		return nil
 	}
 }
@@ -114,17 +91,19 @@ func WithStopAtFirst(on bool) Option {
 // (Spectre v1, v1.1, v4), with computed control flow followed
 // architecturally.
 func WithSymbolic(on bool) Option {
-	return func(c *config) error {
-		c.symbolic = on
+	return func(c *Config) error {
+		c.Symbolic = on
 		return nil
 	}
 }
 
 // WithSolverSeed seeds the symbolic solver's randomized model search,
-// making witness assignments reproducible (symbolic mode only).
+// making witness assignments reproducible (symbolic mode only). The
+// default seed is 0 — an explicit WithSolverSeed(0) and no option at
+// all are the same configuration, with the same Config.CacheKey.
 func WithSolverSeed(seed int64) Option {
-	return func(c *config) error {
-		c.solverSeed = seed
+	return func(c *Config) error {
+		c.SolverSeed = seed
 		return nil
 	}
 }
@@ -145,14 +124,14 @@ func WithSolverSeed(seed int64) Option {
 // may vary between runs. The same setting sizes the fan-out of
 // AnalyzeBatch/RunAll.
 func WithWorkers(n int) Option {
-	return func(c *config) error {
+	return func(c *Config) error {
 		if n < 0 {
 			return fmt.Errorf("spectre: workers must be non-negative, got %d", n)
 		}
 		if n == 0 {
 			n = runtime.NumCPU()
 		}
-		c.workers = n
+		c.Workers = n
 		return nil
 	}
 }
@@ -169,8 +148,8 @@ func WithWorkers(n int) Option {
 // over-approximates every transient execution); only States and Paths
 // shrink. Off by default.
 func WithStaticPass(on bool) Option {
-	return func(c *config) error {
-		c.staticPass = on
+	return func(c *Config) error {
+		c.StaticPass = on
 		return nil
 	}
 }
@@ -184,10 +163,10 @@ func WithStaticPass(on bool) Option {
 // re-verified secret-free by the configured detector and certified
 // behaviour-preserving modulo the rewrite's address map.
 func WithRepairStrategy(s string) Option {
-	return func(c *config) error {
+	return func(c *Config) error {
 		switch s {
 		case StrategyAuto, StrategyFence, StrategyMask, StrategyRet:
-			c.repairStrategy = s
+			c.RepairStrategy = s
 			return nil
 		}
 		return fmt.Errorf("spectre: unknown repair strategy %q (want auto, fence, mask or ret)", s)
@@ -206,11 +185,11 @@ func WithRepairStrategy(s string) Option {
 // explored from its first-visited twin). 0 (the default) disables
 // deduplication. Works in both concrete and symbolic mode.
 func WithDedup(maxEntries int) Option {
-	return func(c *config) error {
+	return func(c *Config) error {
 		if maxEntries < 0 {
 			return fmt.Errorf("spectre: dedup entries must be non-negative, got %d", maxEntries)
 		}
-		c.dedupEntries = maxEntries
+		c.DedupEntries = maxEntries
 		return nil
 	}
 }

@@ -236,7 +236,7 @@ func (r *RepairResult) StrategyTable() string {
 // left unmodified. Cancelling the context aborts the synthesis with
 // an error.
 func (a *Analyzer) Repair(ctx context.Context, p *Program) (*RepairResult, error) {
-	return a.repairWith(ctx, p, a.cfg.workers)
+	return a.repairWith(ctx, p, a.cfg.Workers)
 }
 
 func (a *Analyzer) repairWith(ctx context.Context, p *Program, workers int) (*RepairResult, error) {
@@ -252,13 +252,13 @@ func (a *Analyzer) repairWith(ctx context.Context, p *Program, workers int) (*Re
 	// replay (verification itself stays symbolic).
 	ropts := repair.Options{
 		Verify:       a.repairVerifier(ctx, p, workers),
-		MaxSeqInstrs: a.cfg.maxRetired,
-		Strategy:     a.cfg.repairStrategy,
+		MaxSeqInstrs: a.cfg.MaxRetired,
+		Strategy:     a.cfg.RepairStrategy,
 		Machine: func(ip *isa.Program) *core.Machine {
 			return p.withProg(ip).machine()
 		},
 	}
-	if a.cfg.staticPass {
+	if a.cfg.StaticPass {
 		// Rank candidate fence sites by static suspiciousness so each
 		// round commits only the most promising placement.
 		if srep, err := staticAnalyze(p); err == nil {
@@ -283,16 +283,16 @@ func (a *Analyzer) repairVerifier(ctx context.Context, p *Program, workers int) 
 	return func(ip *isa.Program) (pitchfork.Report, error) {
 		q := p.withProg(ip)
 		opts := pitchfork.Options{
-			Bound:          a.cfg.bound,
-			ForwardHazards: a.cfg.forwardHazards,
-			MaxStates:      a.cfg.maxStates,
-			MaxRetired:     a.cfg.maxRetired,
+			Bound:          a.cfg.Bound,
+			ForwardHazards: a.cfg.ForwardHazards,
+			MaxStates:      a.cfg.MaxStates,
+			MaxRetired:     a.cfg.MaxRetired,
 			Workers:        workers,
-			DedupEntries:   a.cfg.dedupEntries,
-			SolverSeed:     a.cfg.solverSeed,
+			DedupEntries:   a.cfg.DedupEntries,
+			SolverSeed:     a.cfg.SolverSeed,
 			Interrupt:      func() bool { return ctx.Err() != nil },
 		}
-		if a.cfg.staticPass {
+		if a.cfg.StaticPass {
 			// The hints must match the candidate's address space, so the
 			// (linear) pre-analysis reruns per rewritten program; a
 			// pre-analysis error just forfeits the pruning.
@@ -302,7 +302,7 @@ func (a *Analyzer) repairVerifier(ctx context.Context, p *Program, workers int) 
 		}
 		var rep pitchfork.Report
 		var err error
-		if a.cfg.symbolic {
+		if a.cfg.Symbolic {
 			rep, err = pitchfork.AnalyzeSymbolic(q.symMachine(), opts)
 		} else {
 			rep, err = pitchfork.Analyze(q.machine(), opts)
@@ -338,8 +338,8 @@ func repairResultOf(a *Analyzer, p *Program, res *repair.Result) *RepairResult {
 		Sites:       append([]Addr(nil), res.Sites...),
 		FencePoints: append([]Addr(nil), res.Fences...),
 		Cost:        repairCostOf(p, res),
-		Before:      reportOf(res.Before, a.cfg.bound, a.cfg.forwardHazards),
-		After:       reportOf(res.After, a.cfg.bound, a.cfg.forwardHazards),
+		Before:      reportOf(res.Before, a.cfg.Bound, a.cfg.ForwardHazards),
+		After:       reportOf(res.After, a.cfg.Bound, a.cfg.ForwardHazards),
 	}
 	for _, attempt := range res.PerStrategy {
 		out.PerStrategy = append(out.PerStrategy, StrategyCost{
@@ -392,7 +392,7 @@ func (a *Analyzer) RepairAll(ctx context.Context, items []BatchItem) []RepairBat
 	for i, it := range items {
 		out[i].Name = it.Name
 	}
-	workers := a.cfg.workers
+	workers := a.cfg.Workers
 	if workers > len(items) {
 		workers = len(items)
 	}

@@ -165,8 +165,20 @@ type StaticReport struct {
 	ComputedFlow bool `json:"computedFlow"`
 }
 
+// ReportSchemaVersion is the current revision of the wire schema.
+// Report.SchemaVersion carries it on versioned wire traffic; an empty
+// SchemaVersion means "1" (the schema has been backward-compatible
+// since its introduction). See the compatibility policy in the package
+// documentation.
+const ReportSchemaVersion = "1"
+
 // Report aggregates one analysis run in the stable wire schema.
 type Report struct {
+	// SchemaVersion identifies the wire-schema revision of this report.
+	// The library leaves it empty (meaning ReportSchemaVersion is
+	// implied, which keeps pre-versioning encodings byte-identical);
+	// the serving layer stamps it explicitly on every response.
+	SchemaVersion string `json:"schemaVersion,omitempty"`
 	// Mode is ModeConcrete, ModeSymbolic, or ModeStatic.
 	Mode string `json:"mode"`
 	// Bound is the speculation bound the run used.
@@ -197,6 +209,15 @@ type Report struct {
 	// Static is the static pre-analysis verdict when WithStaticPass was
 	// enabled; nil otherwise (absent on the wire).
 	Static *StaticReport `json:"static,omitempty"`
+	// CacheHit and Coalesced are cache provenance, stamped by the
+	// serving layer and never set by the library: CacheHit marks a
+	// report answered from the verdict cache without running an
+	// analysis; Coalesced marks a report shared from another request's
+	// in-flight analysis of the same (fingerprint, config) key. Both
+	// are absent from the wire when false, so library-produced
+	// encodings are unchanged.
+	CacheHit  bool `json:"cacheHit,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // Summary renders a one-line result.

@@ -121,6 +121,47 @@ func TestRepairGoldenJSON(t *testing.T) {
 	}
 }
 
+// TestVersionedReportGoldenJSON pins the versioned wire shape the
+// serving layer emits: SchemaVersion stamped explicitly plus the cache
+// provenance fields (CacheHit, Coalesced) set. The plain goldens above
+// prove the same report with these fields unset stays byte-identical
+// to the pre-versioning encoding — together the two pins are the
+// compatibility policy (doc.go, "Wire schema versioning") in
+// executable form.
+// Regenerate deliberately with: go test ./spectre -run Golden -update
+func TestVersionedReportGoldenJSON(t *testing.T) {
+	rep, err := mustNew(t,
+		spectre.WithBound(20),
+		spectre.WithForwardHazards(false),
+		spectre.WithStopAtFirst(true),
+	).Run(context.Background(), v1Program(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.SchemaVersion = spectre.ReportSchemaVersion
+	rep.CacheHit = true
+	rep.Coalesced = true
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "report.versioned.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("versioned report JSON schema drifted from golden fixture\n-- got --\n%s\n-- want --\n%s", got, want)
+	}
+}
+
 // TestReportJSONRoundTrip checks the schema decodes back into the
 // same values — the property a service consuming findings relies on.
 func TestReportJSONRoundTrip(t *testing.T) {
