@@ -538,6 +538,82 @@ func BenchmarkSolver(b *testing.B) {
 	}
 }
 
+// solverChain builds a depth-n path condition of the shape symbolic
+// exploration produces: branch bounds plus concretization pins over
+// one attacker variable.
+func solverChain(n int) symx.PathCondition {
+	x := symx.NewVar("x", mem.Public)
+	p := symx.PCond(
+		symx.Constraint{E: symx.Apply(isa.OpLt, x, symx.CW(1<<16)), Truthy: true},
+		symx.Constraint{E: symx.Apply(isa.OpGe, x, symx.CW(8)), Truthy: true},
+	)
+	for i := 0; i < n; i++ {
+		p = p.With(symx.Constraint{
+			E:      symx.Apply(isa.OpEq, symx.Apply(isa.OpAdd, x, symx.CW(mem.Word(0x1000+i))), symx.CW(0)),
+			Truthy: false, // x + k ≠ 0: true but unpruned, keeps the chain growing
+		})
+	}
+	return p
+}
+
+// BenchmarkSolverColdStart solves a fresh chain in a fresh solver —
+// the full propagate-then-search pipeline with nothing memoized.
+func BenchmarkSolverColdStart(b *testing.B) {
+	cond := solverChain(12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := symx.NewSolver(1)
+		if _, ok := s.Solve(cond); !ok {
+			b.Fatal("unsolved")
+		}
+	}
+}
+
+// BenchmarkSolverIncremental extends a warm chain by one conjunct per
+// iteration and re-solves — the push/pop pattern exploration drives
+// (each branch adds one constraint to an already-solved parent).
+func BenchmarkSolverIncremental(b *testing.B) {
+	x := symx.NewVar("x", mem.Public)
+	s := symx.NewSolver(1)
+	base := solverChain(4)
+	if _, ok := s.Solve(base); !ok {
+		b.Fatal("unsolved base")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	p := base
+	for i := 0; i < b.N; i++ {
+		p = p.With(symx.Constraint{
+			E:      symx.Apply(isa.OpEq, x, symx.CW(mem.Word(1<<20+i))),
+			Truthy: false,
+		})
+		if _, ok := s.Solve(p); !ok {
+			b.Fatal("unsolved")
+		}
+		if p.Len() > 64 { // keep the chain bounded
+			p = base
+		}
+	}
+}
+
+// BenchmarkSolverCacheHit re-solves one warm query — the repeated
+// Feasible/Concretize pattern on an unchanged path condition.
+func BenchmarkSolverCacheHit(b *testing.B) {
+	s := symx.NewSolver(1)
+	cond := solverChain(12)
+	if _, ok := s.Solve(cond); !ok {
+		b.Fatal("unsolved")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Solve(cond); !ok {
+			b.Fatal("unsolved")
+		}
+	}
+}
+
 func newRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func BenchmarkCacheRecovery(b *testing.B) {

@@ -170,6 +170,7 @@ func main() {
 		}
 		fmt.Println(rep.Summary())
 		reportStatic(rep)
+		reportSolver(rep)
 		if !rep.SecretFree {
 			reportFindings(rep)
 		}
@@ -199,6 +200,7 @@ func main() {
 	}
 	fmt.Printf("phase 1 (bound %d, no hazard detection): %s\n", spectre.BoundNoHazards, pr.Phase1.Summary())
 	reportStatic(pr.Phase1)
+	reportSolver(pr.Phase1)
 	if !pr.Phase1.SecretFree {
 		reportFindings(pr.Phase1)
 		os.Exit(1)
@@ -248,6 +250,15 @@ func reportStatic(rep *spectre.Report) {
 	}
 	fmt.Printf("static pre-analysis: %d suspicious point(s) of %d reachable%s: %s\n",
 		len(s.Suspicious), s.Reachable, note, joinAddrs(s.Suspicious))
+}
+
+func reportSolver(rep *spectre.Report) {
+	s := rep.Solver
+	if s == nil {
+		return
+	}
+	fmt.Printf("solver: %d queries (%d cache hits, %d definite-unsat, %d domain-narrowed, %d parent-extended), %d probe iterations\n",
+		s.Queries, s.CacheHits, s.DefiniteUnsats, s.PropPruned, s.ExtendHits, s.ProbeIters)
 }
 
 func reportFindings(rep *spectre.Report) {

@@ -42,6 +42,37 @@ func TestResolveArgsAllocFree(t *testing.T) {
 	}
 }
 
+// TestResolveRegAllocFree pins resolveReg, resolveArgs' twin on the
+// operand-resolution hot path: resolving a register must not allocate
+// — neither through the speculative buffer, nor out of the register
+// file, nor on the unset-register default (which now returns the
+// canonical symx.Zero instead of boxing a fresh Const per call).
+func TestResolveRegAllocFree(t *testing.T) {
+	b := isa.NewBuilder(1)
+	b.Op(isa.Reg(0), isa.OpAdd, isa.R(isa.Reg(1)), isa.R(isa.Reg(2)))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := NewSym(p)
+	init.SetReg(isa.Reg(1), symx.NewVar("a", mem.Public))
+	s := newSymMachine(init, 0)
+
+	for _, r := range []isa.Reg{isa.Reg(1), isa.Reg(9)} { // set and unset
+		allocs := testing.AllocsPerRun(200, func() {
+			if _, ok := s.resolveReg(s.base, r); !ok {
+				t.Fatal("resolve failed")
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("resolveReg(r%d) allocates %.1f times per call; want 0", r, allocs)
+		}
+	}
+	if e, ok := s.resolveReg(s.base, isa.Reg(9)); !ok || e != symx.Zero {
+		t.Fatal("unset register must resolve to the canonical zero expression")
+	}
+}
+
 // TestApplyArgsCopiesRetainedScratch guards the other half of the
 // scratch contract: when symx.Apply keeps the argument slice verbatim
 // (the default unsimplified path), applyArgs must hand the expression

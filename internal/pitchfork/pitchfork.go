@@ -29,6 +29,7 @@ import (
 
 	"pitchfork/internal/core"
 	"pitchfork/internal/sched"
+	"pitchfork/internal/symx"
 )
 
 // Options configure an analysis.
@@ -120,6 +121,12 @@ type Report struct {
 	Workers int
 	// DedupHits counts states pruned by fingerprint deduplication.
 	DedupHits int
+	// Solver carries the constraint engine's per-analysis counters in
+	// symbolic mode; nil in concrete mode. Under parallel runs the
+	// cache-hit/fresh-solve split depends on worker interleaving (the
+	// results never do), so these are diagnostics, not part of the
+	// deterministic result surface.
+	Solver *symx.SolverStats
 }
 
 // SecretFree reports whether the program was found SCT-clean at the

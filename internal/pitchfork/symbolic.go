@@ -377,7 +377,10 @@ func (s *symMachine) resolveReg(i int, r isa.Reg) (symx.Expr, bool) {
 	if e, ok := s.regs.Read(r); ok {
 		return e, true
 	}
-	return symx.CW(0), true
+	// The canonical zero expression: boxing a fresh Const here made
+	// every unset-register resolve an allocation (resolveReg is on the
+	// operand-resolution hot path alongside resolveArgs).
+	return symx.Zero, true
 }
 
 func (s *symMachine) resolveOperand(i int, o isa.Operand) (symx.Expr, bool) {
@@ -997,12 +1000,15 @@ func AnalyzeSymbolic(m *SymMachine, opts Options) (Report, error) {
 	if err != nil {
 		return Report{}, fmt.Errorf("pitchfork: %w", err)
 	}
-	res := e.ExploreMachine(newSymMachine(m, opts.SolverSeed))
+	sm := newSymMachine(m, opts.SolverSeed)
+	res := e.ExploreMachine(sm)
 	rep := Report{
 		States: res.States, Paths: res.Paths,
 		Truncated: res.Truncated, Interrupted: res.Interrupted,
 		Mode: "symbolic", Workers: res.Workers, DedupHits: res.DedupHits,
 	}
+	stats := sm.solver.Stats()
+	rep.Solver = &stats
 	for _, v := range res.Violations {
 		rep.Violations = append(rep.Violations, violationOf(v))
 	}

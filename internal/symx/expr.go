@@ -1,6 +1,6 @@
 // Package symx is a small symbolic-execution substrate: labeled
-// bitvector expressions over 64-bit words, a structural simplifier, a
-// heuristic satisfiability solver, and a symbolic memory with
+// bitvector expressions over 64-bit words, a structural simplifier, an
+// incremental bitvector constraint engine, and a symbolic memory with
 // angr-style address concretization.
 //
 // It stands in for the angr engine the paper's Pitchfork prototype is
@@ -9,9 +9,32 @@
 // constraints from resolved branches, and (c) concretization of
 // symbolic memory addresses ("angr concretizes addresses for memory
 // operations instead of keeping them symbolic"). All three are
-// reproduced here; the solver is a bounded heuristic search, which is
-// sufficient for the (low-degree, few-variable) constraints crypto
-// control flow produces and is documented as such in DESIGN.md.
+// reproduced here.
+//
+// The solver (engine.go) layers sound reasoning in front of the
+// original bounded heuristic search, exploiting the structure the
+// explorer gives it — path conditions grow by one conjunct per branch
+// along a parent-pointer chain, and the same conditions recur across
+// forks and workers:
+//
+//   - an interval × known-bits abstract domain with per-opcode
+//     transfer functions propagates constraints to a fixpoint,
+//     deciding pinned variables outright and proving many queries
+//     UNSAT with no search at all (an empty domain is a proof);
+//   - a per-conjunct incremental evaluator re-checks only the
+//     conjuncts whose variables changed between candidate models;
+//   - results are memoized per fingerprint in a sharded model cache
+//     shared across forks and workers, and child queries extend the
+//     parent's cached model push/pop-style instead of solving from
+//     scratch.
+//
+// Every layer is filtering-only over a sound over-approximation, so
+// witnesses are bit-identical to the plain search whenever it would
+// have succeeded, and the engine stays a pure function of (seed,
+// query) — parallel runs remain deterministic. What a real SMT backend
+// would still add is completeness on dense multi-variable arithmetic
+// (e.g. nonlinear mixes of wide-range variables), where the probe
+// fallback remains bounded-best-effort; see DESIGN.md.
 package symx
 
 import (
@@ -49,6 +72,11 @@ func C(v mem.Value) Const { return Const{V: v} }
 
 // CW wraps a public word.
 func CW(w mem.Word) Const { return Const{V: mem.Pub(w)} }
+
+// Zero is the canonical public-zero expression. Hot paths that default
+// to zero (unmapped memory reads, unset register resolves) return it
+// instead of boxing a fresh Const into the interface per call.
+var Zero Expr = Const{}
 
 // Label implements Expr.
 func (c Const) Label() mem.Label { return c.V.L }

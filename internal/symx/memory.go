@@ -38,7 +38,7 @@ func (m *Memory) Read(a mem.Word) Expr {
 	if e, ok := m.m.Lookup(a); ok {
 		return e
 	}
-	return CW(0)
+	return Zero
 }
 
 // Write sets the cell at a.

@@ -2,6 +2,7 @@ package symx
 
 import (
 	"math/rand"
+	"sort"
 
 	"pitchfork/internal/mem"
 )
@@ -38,12 +39,17 @@ type PathCondition struct{ n *pcNode }
 
 // pcNode is one conjunct; fp caches the Fingerprint fold of the chain
 // up to and including this constraint, so fingerprints stay O(1) and
-// bit-identical to the historical oldest-first slice fold.
+// bit-identical to the historical oldest-first slice fold. vars caches
+// the sorted free-variable set of the whole chain, maintained
+// incrementally by With and shared with the parent whenever the new
+// conjunct introduces no fresh variables (the common case: a branch
+// re-tests variables the chain already constrains).
 type pcNode struct {
 	parent *pcNode
 	c      Constraint
 	fp     uint64
 	depth  int
+	vars   []string
 }
 
 // PCond builds a path condition from constraints, oldest first.
@@ -64,7 +70,51 @@ func (p PathCondition) With(c Constraint) PathCondition {
 	} else {
 		h = mem.Mix64(h ^ 2)
 	}
-	return PathCondition{n: &pcNode{parent: p.n, c: c, fp: h, depth: p.Len() + 1}}
+	var pvars []string
+	if p.n != nil {
+		pvars = p.n.vars
+	}
+	return PathCondition{n: &pcNode{parent: p.n, c: c, fp: h, depth: p.Len() + 1, vars: unionVars(pvars, c.E)}}
+}
+
+// unionVars returns have ∪ vars(e), sorted — have itself when e adds
+// nothing, so extending a condition usually allocates only its node.
+func unionVars(have []string, e Expr) []string {
+	fresh := missingVars(e, have, nil)
+	if len(fresh) == 0 {
+		return have
+	}
+	out := make([]string, 0, len(have)+len(fresh))
+	out = append(out, have...)
+	out = append(out, fresh...)
+	sort.Strings(out)
+	return out
+}
+
+// missingVars appends to dst the free variables of e that are absent
+// from the sorted set have (allocating nothing when there are none).
+func missingVars(e Expr, have []string, dst []string) []string {
+	switch x := e.(type) {
+	case Var:
+		if !containsSorted(have, x.Name) {
+			for _, s := range dst {
+				if s == x.Name {
+					return dst
+				}
+			}
+			dst = append(dst, x.Name)
+		}
+	case Op:
+		for _, a := range x.Args {
+			dst = missingVars(a, have, dst)
+		}
+	}
+	return dst
+}
+
+func containsSorted(have []string, s string) bool {
+	i := sort.SearchStrings(have, s)
+	return i < len(have) && have[i] == s
 }
 
 // Len reports the number of conjuncts.
@@ -97,40 +147,53 @@ func (p PathCondition) Fingerprint() uint64 {
 	return p.n.fp
 }
 
-// Vars returns the free variables of the conjunction, sorted.
+// Vars returns the free variables of the conjunction, sorted. The
+// slice is cached on the chain and shared with conditions extending
+// this one — callers must not mutate it.
 func (p PathCondition) Vars() []string {
-	set := make(map[string]bool)
-	for n := p.n; n != nil; n = n.parent {
-		n.c.E.vars(set)
+	if p.n == nil {
+		return nil
 	}
-	out := make([]string, 0, len(set))
-	for n := range set {
-		out = append(out, n)
+	return p.n.vars
+}
+
+// parent returns the condition without its newest conjunct.
+func (p PathCondition) parent() PathCondition {
+	if p.n == nil {
+		return PathCondition{}
 	}
-	sortStrings(out)
+	return PathCondition{n: p.n.parent}
+}
+
+// conjuncts returns the chain oldest-first.
+func (p PathCondition) conjuncts() []Constraint {
+	out := make([]Constraint, p.Len())
+	for n, i := p.n, len(out)-1; n != nil; n, i = n.parent, i-1 {
+		out[i] = n.c
+	}
 	return out
 }
 
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
-}
-
-// Solver searches for satisfying assignments of path conditions. It is
-// a bounded heuristic: seeded candidate values, random probing, and
-// coordinate descent. Sound for SAT answers (a returned model always
-// satisfies the constraints); UNSAT answers are "unknown" and reported
-// as such.
+// Solver searches for satisfying assignments of path conditions. The
+// search runs in layers: an interval + known-bits propagation pre-pass
+// over the conjunction (seeded incrementally from the parent
+// condition's fixpoint) that settles definite UNSAT and narrows the
+// candidate space; deterministic candidates (all-zeros, a seed grid
+// for small queries, a coordinate sweep otherwise) filtered through
+// the domains; extension of the parent condition's cached model by the
+// one new conjunct; and finally bounded random probing with an
+// incremental evaluator that re-checks only the conjuncts whose
+// variables changed per candidate. Sound for SAT answers (a returned
+// model always satisfies the constraints) and for propagation UNSAT
+// (empty domains are a proof); a probe-budget miss is "unknown".
 //
-// A Solver holds no per-query mutable state: the random-probing phase
-// derives its generator from the solver seed and a fingerprint of the
-// query, so answers are a pure function of (seed, query) — independent
-// of call order. That makes one Solver safe to share across the
-// exploration engine's worker goroutines and keeps parallel symbolic
-// runs bit-identical to serial ones.
+// Results are memoized in a bounded cache keyed by the path
+// condition's fingerprint, and every layer is a pure function of
+// (solver seed, query): answers are independent of call order and
+// cache state, which is what lets one Solver be shared across the
+// exploration engine's worker goroutines while keeping parallel
+// symbolic runs bit-identical to serial ones. Returned models are
+// shared with the cache — callers must not mutate them.
 type Solver struct {
 	seed int64
 	// Tries bounds random probes per query.
@@ -138,6 +201,9 @@ type Solver struct {
 	// Seeds are the per-variable candidate words tried exhaustively
 	// for queries with few variables.
 	Seeds []mem.Word
+
+	cache    *modelCache
+	counters solverCounters
 }
 
 // NewSolver returns a solver with a deterministic seed.
@@ -146,6 +212,7 @@ func NewSolver(seed int64) *Solver {
 		seed:  seed,
 		Tries: 4096,
 		Seeds: []mem.Word{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 31, 32, 63, 64, 100, 127, 128, 200, 255, 256, 1 << 12, 1 << 16, ^mem.Word(0), ^mem.Word(0) - 1, 1 << 63},
+		cache: newModelCache(),
 	}
 }
 
@@ -184,78 +251,11 @@ func Fingerprint(e Expr) uint64 {
 }
 
 // Solve searches for a model of p. ok=false means no model was found
-// within the budget (which may be UNSAT or just hard).
+// within the budget (which may be UNSAT or just hard). The returned
+// model is shared with the solver's cache; callers must not mutate it.
 func (s *Solver) Solve(p PathCondition) (Env, bool) {
-	vars := p.Vars()
-	if len(vars) == 0 {
-		if p.Holds(Env{}) {
-			return Env{}, true
-		}
-		return nil, false
-	}
-	env := make(Env, len(vars))
-	for _, v := range vars {
-		env[v] = 0
-	}
-	if p.Holds(env) {
-		return env, true
-	}
-	// Exhaustive seed grid for small queries.
-	if len(vars) <= 2 {
-		if m, ok := s.grid(p, vars, env, 0); ok {
-			return m, true
-		}
-	} else {
-		// Coordinate pass: fix others at 0, sweep each var over seeds.
-		for _, v := range vars {
-			for _, w := range s.Seeds {
-				env[v] = w
-				if p.Holds(env) {
-					return env, true
-				}
-			}
-			env[v] = 0
-		}
-	}
-	// Random probing, with a query-derived generator (see rngFor).
-	rng := s.rngFor(p)
-	for t := 0; t < s.Tries; t++ {
-		for _, v := range vars {
-			switch rng.Intn(3) {
-			case 0:
-				env[v] = s.Seeds[rng.Intn(len(s.Seeds))]
-			case 1:
-				env[v] = mem.Word(rng.Intn(512))
-			default:
-				env[v] = mem.Word(rng.Uint64())
-			}
-		}
-		if p.Holds(env) {
-			return env, true
-		}
-	}
-	return nil, false
-}
-
-func (s *Solver) grid(p PathCondition, vars []string, env Env, i int) (Env, bool) {
-	if i == len(vars) {
-		if p.Holds(env) {
-			m := make(Env, len(env))
-			for k, v := range env {
-				m[k] = v
-			}
-			return m, true
-		}
-		return nil, false
-	}
-	for _, w := range s.Seeds {
-		env[vars[i]] = w
-		if m, ok := s.grid(p, vars, env, i+1); ok {
-			return m, true
-		}
-	}
-	env[vars[i]] = 0
-	return nil, false
+	e := s.query(p)
+	return e.env, e.ok
 }
 
 // SolveWith searches for a model of p that additionally pins e to the
@@ -267,6 +267,281 @@ func (s *Solver) SolveWith(p PathCondition, e Expr, want mem.Word) (Env, bool) {
 
 // Feasible reports whether a model of p was found within budget.
 func (s *Solver) Feasible(p PathCondition) bool {
-	_, ok := s.Solve(p)
-	return ok
+	return s.query(p).ok
+}
+
+// query answers a solve through the memo cache. Entries are verified
+// against their query before use (SAT hits must still satisfy p, in
+// case of a fingerprint collision); on a miss the chain is solved
+// recursively, parent first, so a result never depends on what happens
+// to be cached.
+func (s *Solver) query(p PathCondition) *solveEntry {
+	s.counters.queries.Add(1)
+	if p.n == nil {
+		return emptyEntry
+	}
+	if e, ok := s.cache.get(p.n.fp); ok {
+		if !e.ok || p.Holds(e.env) {
+			s.counters.cacheHits.Add(1)
+			return e
+		}
+	}
+	e := s.solveFresh(p)
+	s.cache.put(p.n.fp, e)
+	return e
+}
+
+// solveFresh runs the layered search for a condition not in the cache.
+func (s *Solver) solveFresh(p PathCondition) *solveEntry {
+	vars := p.Vars()
+	par := p.parent()
+	var pe *solveEntry
+	if par.n != nil {
+		pe = s.query(par)
+		if pe.unsat {
+			// A superset of an unsatisfiable conjunction is unsatisfiable.
+			s.counters.definiteUnsats.Add(1)
+			return &solveEntry{unsat: true}
+		}
+	}
+	vidx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		vidx[v] = i
+	}
+	cons := p.conjuncts()
+
+	// Layer 1: interval/known-bits propagation, seeded from the
+	// parent's fixpoint (⊤ for fresh variables).
+	doms := make([]vdom, len(vars))
+	for i := range doms {
+		doms[i] = fullDom
+	}
+	fromParent := false
+	if pe != nil && pe.doms != nil {
+		pvars := par.Vars()
+		for i, j := 0, 0; i < len(pvars); i++ {
+			for vars[j] != pvars[i] {
+				j++
+			}
+			doms[j] = pe.doms[i]
+		}
+		fromParent = true
+	}
+	if !propagate(cons, vidx, doms, fromParent) {
+		s.counters.definiteUnsats.Add(1)
+		return &solveEntry{doms: doms, unsat: true}
+	}
+	for i := range doms {
+		if !doms[i].isFull() {
+			s.counters.propPruned.Add(1)
+			break
+		}
+	}
+
+	if len(vars) == 0 {
+		if p.Holds(Env{}) {
+			return &solveEntry{doms: doms, env: Env{}, ok: true}
+		}
+		return &solveEntry{doms: doms}
+	}
+
+	// Layer 2: deterministic candidates through the incremental
+	// evaluator, filtered by the domains. The filter only skips
+	// candidates that provably cannot be models, so the first hit is
+	// the same one the historical from-scratch search found.
+	ec := newEvalCtx(vars, cons, vidx)
+	if ec.hopeless() {
+		return &solveEntry{doms: doms}
+	}
+	if ec.bad == 0 && allZeros(doms) {
+		return &solveEntry{doms: doms, env: ec.env, ok: true}
+	}
+	if len(vars) <= 2 {
+		if ok := s.grid(ec, doms); ok {
+			return &solveEntry{doms: doms, env: ec.env, ok: true}
+		}
+	} else if ok := s.coordinate(ec, doms); ok {
+		return &solveEntry{doms: doms, env: ec.env, ok: true}
+	}
+
+	// Layer 3: extend the parent's model by the one new conjunct. Only
+	// reachable when the deterministic candidates all failed — which,
+	// when the parent itself fell through to probing, they necessarily
+	// did (the child re-tries a superset of the parent's failed
+	// candidates), so this can only replace a probe-phase answer.
+	if pe != nil && pe.ok {
+		if env, ok := s.extend(p, pe, par, vars, doms, vidx); ok {
+			s.counters.extendHits.Add(1)
+			return &solveEntry{doms: doms, env: env, ok: true}
+		}
+	}
+
+	// Layer 4: random probing with the query-derived generator. The
+	// generator consumes draws exactly like the historical search —
+	// every variable is drawn each iteration, and domain filtering
+	// happens after the draws — so the surviving first model is
+	// bit-identical to what from-scratch probing found.
+	rng := s.rngFor(p)
+	cand := make([]mem.Word, len(vars))
+	iters := uint64(0)
+	defer func() { s.counters.probeIters.Add(iters) }()
+	for t := 0; t < s.Tries; t++ {
+		iters++
+		inDom := true
+		for i := range vars {
+			var w mem.Word
+			switch rng.Intn(3) {
+			case 0:
+				w = s.Seeds[rng.Intn(len(s.Seeds))]
+			case 1:
+				w = mem.Word(rng.Intn(512))
+			default:
+				w = mem.Word(rng.Uint64())
+			}
+			cand[i] = w
+			if !doms[i].contains(w) {
+				inDom = false
+			}
+		}
+		if !inDom {
+			continue
+		}
+		for i, w := range cand {
+			ec.set(i, w)
+		}
+		if ec.bad == 0 {
+			return &solveEntry{doms: doms, env: ec.env, ok: true}
+		}
+	}
+	return &solveEntry{doms: doms}
+}
+
+func allZeros(doms []vdom) bool {
+	for _, d := range doms {
+		if !d.contains(0) {
+			return false
+		}
+	}
+	return true
+}
+
+// candList filters the seed words through a domain, appending a forced
+// singleton (a propagation-solved equality) if the seeds miss it.
+func (s *Solver) candList(d vdom, dst []mem.Word) []mem.Word {
+	for _, w := range s.Seeds {
+		if d.contains(w) {
+			dst = append(dst, w)
+		}
+	}
+	if w, ok := d.singleton(); ok && (len(dst) == 0 || dst[len(dst)-1] != w) {
+		dst = append(dst, w)
+	}
+	return dst
+}
+
+// grid exhaustively tries seed-word combinations for 1–2 variable
+// queries, in the historical enumeration order.
+func (s *Solver) grid(ec *evalCtx, doms []vdom) bool {
+	var b0, b1 [40]mem.Word
+	c0 := s.candList(doms[0], b0[:0])
+	if len(ec.vars) == 1 {
+		for _, w := range c0 {
+			ec.set(0, w)
+			if ec.bad == 0 {
+				return true
+			}
+		}
+		return false
+	}
+	c1 := s.candList(doms[1], b1[:0])
+	for _, w0 := range c0 {
+		ec.set(0, w0)
+		for _, w1 := range c1 {
+			ec.set(1, w1)
+			if ec.bad == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// coordinate sweeps each variable over the seed words with the others
+// pinned at zero, in the historical order.
+func (s *Solver) coordinate(ec *evalCtx, doms []vdom) bool {
+	nonzero := 0 // variables whose domain excludes 0
+	for _, d := range doms {
+		if !d.contains(0) {
+			nonzero++
+		}
+	}
+	for i := range ec.vars {
+		rest := nonzero
+		if !doms[i].contains(0) {
+			rest--
+		}
+		if rest > 0 {
+			continue // some other variable can't sit at zero
+		}
+		for _, w := range s.Seeds {
+			if !doms[i].contains(w) {
+				continue
+			}
+			ec.set(i, w)
+			if ec.bad == 0 {
+				return true
+			}
+		}
+		ec.set(i, 0)
+	}
+	return false
+}
+
+// extend tries to reuse the parent condition's model: when the new
+// conjunct adds no variables, the parent model either satisfies it or
+// doesn't; when it adds one or two, they are gridded over the seed
+// words against the new conjunct alone (older conjuncts cannot
+// mention them).
+func (s *Solver) extend(p PathCondition, pe *solveEntry, par PathCondition, vars []string, doms []vdom, vidx map[string]int) (Env, bool) {
+	c := p.n.c
+	pvars := par.Vars()
+	if len(vars) == len(pvars) {
+		if c.Holds(pe.env) {
+			return pe.env, true
+		}
+		return nil, false
+	}
+	fresh := missingVars(c.E, pvars, nil)
+	if len(fresh) > 2 {
+		return nil, false
+	}
+	env := make(Env, len(vars))
+	for k, w := range pe.env {
+		env[k] = w
+	}
+	for _, v := range fresh {
+		env[v] = 0
+	}
+	var b0, b1 [40]mem.Word
+	c0 := s.candList(doms[vidx[fresh[0]]], b0[:0])
+	if len(fresh) == 1 {
+		for _, w := range c0 {
+			env[fresh[0]] = w
+			if c.Holds(env) {
+				return env, true
+			}
+		}
+		return nil, false
+	}
+	c1 := s.candList(doms[vidx[fresh[1]]], b1[:0])
+	for _, w0 := range c0 {
+		env[fresh[0]] = w0
+		for _, w1 := range c1 {
+			env[fresh[1]] = w1
+			if c.Holds(env) {
+				return env, true
+			}
+		}
+	}
+	return nil, false
 }

@@ -165,6 +165,24 @@ type StaticReport struct {
 	ComputedFlow bool `json:"computedFlow"`
 }
 
+// SolverStats is the symbolic constraint engine's per-analysis
+// counters in the stable wire schema: constraint queries answered,
+// answers served from the fingerprint-keyed model cache, queries
+// settled UNSAT by interval/known-bits propagation alone, queries
+// whose probe space propagation narrowed, models obtained by
+// extending the parent path condition's model, and total random-probe
+// iterations spent. Present only on symbolic reports. The counters
+// are diagnostics: under parallel runs the cache-hit/fresh-solve
+// split depends on worker interleaving (findings never do).
+type SolverStats struct {
+	Queries        uint64 `json:"queries"`
+	CacheHits      uint64 `json:"cacheHits"`
+	DefiniteUnsats uint64 `json:"definiteUnsats"`
+	PropPruned     uint64 `json:"propPruned"`
+	ExtendHits     uint64 `json:"extendHits"`
+	ProbeIters     uint64 `json:"probeIters"`
+}
+
 // ReportSchemaVersion is the current revision of the wire schema.
 // Report.SchemaVersion carries it on versioned wire traffic; an empty
 // SchemaVersion means "1" (the schema has been backward-compatible
@@ -209,6 +227,10 @@ type Report struct {
 	// Static is the static pre-analysis verdict when WithStaticPass was
 	// enabled; nil otherwise (absent on the wire).
 	Static *StaticReport `json:"static,omitempty"`
+	// Solver carries the constraint engine's counters on symbolic
+	// reports; nil in concrete and static modes (absent on the wire,
+	// so pre-existing encodings are unchanged).
+	Solver *SolverStats `json:"solver,omitempty"`
 	// CacheHit and Coalesced are cache provenance, stamped by the
 	// serving layer and never set by the library: CacheHit marks a
 	// report answered from the verdict cache without running an
@@ -337,6 +359,16 @@ func reportOf(rep pitchfork.Report, bound int, fwd bool) *Report {
 		Interrupted:    rep.Interrupted,
 		Workers:        rep.Workers,
 		DedupHits:      rep.DedupHits,
+	}
+	if rep.Solver != nil {
+		out.Solver = &SolverStats{
+			Queries:        rep.Solver.Queries,
+			CacheHits:      rep.Solver.CacheHits,
+			DefiniteUnsats: rep.Solver.DefiniteUnsats,
+			PropPruned:     rep.Solver.PropPruned,
+			ExtendHits:     rep.Solver.ExtendHits,
+			ProbeIters:     rep.Solver.ProbeIters,
+		}
 	}
 	for _, v := range rep.Violations {
 		out.Findings = append(out.Findings, findingOf(v))
