@@ -13,6 +13,14 @@
 // (modulo the serving layer's provenance stamps). A non-zero exit
 // means errors, verification mismatches, or a final-pass hit rate
 // under -min-hitrate.
+//
+// -retry N gives each request a retry budget of N additional attempts
+// with jittered exponential backoff, honoring the server's Retry-After
+// header on 429/503. Retryable failures are transport errors and 429,
+// 500, 502, 503, 504 statuses — which is what lets the generator ride
+// out backpressure and chaos-injected faults (recovered panics answer
+// 500 with code "engine_panic" and succeed on a clean retry) instead
+// of failing on them; a 4xx other than 429 still fails immediately.
 package main
 
 import (
@@ -23,9 +31,11 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -107,6 +117,7 @@ type passResult struct {
 	Pass          int     `json:"pass"`
 	Requests      int     `json:"requests"`
 	Errors        int     `json:"errors"`
+	Retries       int     `json:"retries"`
 	Mismatches    int     `json:"mismatches"`
 	CacheHits     int     `json:"cacheHits"`
 	Coalesced     int     `json:"coalesced"`
@@ -130,6 +141,7 @@ func main() {
 	passes := flag.Int("passes", 2, "replay passes over the corpus")
 	sets := flag.String("corpus", "kocher,v1,v11,gallery", "comma-separated corpora to replay")
 	verify := flag.Bool("verify", false, "check every verdict byte-for-byte against the in-process library path")
+	retries := flag.Int("retry", 0, "retry budget per request: extra attempts on 429/5xx with jittered backoff honoring Retry-After (0 disables)")
 	minHitRate := flag.Float64("min-hitrate", 0, "fail unless the final pass's hit rate reaches this")
 	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the daemon's /healthz")
 	jsonOut := flag.Bool("json", false, "emit the summary as JSON")
@@ -170,7 +182,7 @@ func main() {
 	sum := summary{Corpus: len(cases)}
 	failed := false
 	for pass := 1; pass <= *passes; pass++ {
-		res := runPass(pass, *addr, *conc, cases, want)
+		res := runPass(pass, *addr, *conc, *retries, cases, want)
 		sum.Passes = append(sum.Passes, res)
 		if res.Errors > 0 || res.Mismatches > 0 {
 			failed = true
@@ -201,7 +213,7 @@ func main() {
 	}
 }
 
-func runPass(pass int, addr string, conc int, cases []corpusCase, want map[string][]byte) passResult {
+func runPass(pass int, addr string, conc, retries int, cases []corpusCase, want map[string][]byte) passResult {
 	res := passResult{Pass: pass, Requests: len(cases)}
 	latencies := make([]time.Duration, len(cases))
 	var mu sync.Mutex // guards the error/hit counters
@@ -215,10 +227,11 @@ func runPass(pass int, addr string, conc int, cases []corpusCase, want map[strin
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			t0 := time.Now()
-			env, err := postAnalyze(addr, c.body)
+			env, retried, err := postAnalyze(addr, c.body, retries)
 			latencies[i] = time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()
+			res.Retries += retried
 			if err != nil {
 				log.Printf("pass %d %s: %v", pass, c.name, err)
 				res.Errors++
@@ -257,27 +270,71 @@ func runPass(pass int, addr string, conc int, cases []corpusCase, want map[strin
 	return res
 }
 
-func postAnalyze(addr string, body []byte) (*serve.AnalyzeResponse, error) {
+// postAnalyze submits one request with a retry budget of maxRetries
+// extra attempts. Transport failures and retryable statuses (429, 500,
+// 502, 503, 504) back off exponentially with full jitter, honoring the
+// server's Retry-After header when it names a longer wait; anything
+// else fails immediately. Returns how many retries were spent.
+func postAnalyze(addr string, body []byte, maxRetries int) (*serve.AnalyzeResponse, int, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		env, retryAfter, retryable, err := postOnce(addr, body)
+		if err == nil {
+			return env, attempt, nil
+		}
+		lastErr = err
+		if !retryable || attempt >= maxRetries {
+			return nil, attempt, lastErr
+		}
+		time.Sleep(backoff(attempt, retryAfter))
+	}
+}
+
+// backoff computes the sleep before retry number attempt (0-based):
+// exponential from 50ms capped at 2s, floored by the server's
+// Retry-After when present, with full jitter (uniform over the upper
+// half of the window) so a burst of rejected clients doesn't
+// re-synchronize into the next burst.
+func backoff(attempt int, retryAfter time.Duration) time.Duration {
+	d := 50 * time.Millisecond << min(attempt, 5)
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d/2 + rand.N(d/2+1)
+}
+
+func postOnce(addr string, body []byte) (env *serve.AnalyzeResponse, retryAfter time.Duration, retryable bool, err error) {
 	resp, err := http.Post(addr+"/v1/analyze", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, true, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, 0, true, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusInternalServerError,
+			http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			retryable = true
+			if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return nil, retryAfter, retryable, fmt.Errorf("status %d: %s", resp.StatusCode, raw)
 	}
-	var env serve.AnalyzeResponse
-	if err := json.Unmarshal(raw, &env); err != nil {
-		return nil, err
+	var e serve.AnalyzeResponse
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return nil, 0, false, err
 	}
-	if env.Report == nil {
-		return nil, fmt.Errorf("response carries no report")
+	if e.Report == nil {
+		return nil, 0, false, fmt.Errorf("response carries no report")
 	}
-	return &env, nil
+	return &e, 0, false, nil
 }
 
 func waitHealthy(addr string, budget time.Duration) error {
@@ -315,13 +372,21 @@ func printPass(r passResult) {
 	if r.Mismatches > 0 {
 		verdicts = fmt.Sprintf("  MISMATCHES %d", r.Mismatches)
 	}
-	fmt.Printf("pass %d: %d requests in %.0fms  %.1f req/s  hit rate %.2f (%d cached, %d coalesced)  p50 %.1fms  p90 %.1fms  p99 %.1fms  errors %d%s\n",
+	retries := ""
+	if r.Retries > 0 {
+		retries = fmt.Sprintf("  retries %d", r.Retries)
+	}
+	fmt.Printf("pass %d: %d requests in %.0fms  %.1f req/s  hit rate %.2f (%d cached, %d coalesced)  p50 %.1fms  p90 %.1fms  p99 %.1fms  errors %d%s%s\n",
 		r.Pass, r.Requests, r.DurationMS, r.ThroughputRPS, r.HitRate,
-		r.CacheHits, r.Coalesced, r.P50MS, r.P90MS, r.P99MS, r.Errors, verdicts)
+		r.CacheHits, r.Coalesced, r.P50MS, r.P90MS, r.P99MS, r.Errors, retries, verdicts)
 }
 
 func printStats(s *serve.StatsResponse) {
 	fmt.Printf("statsz: %d requests (%d analyze, %d repair)  %d analyses  hits %d mem / %d disk  %d coalesced  %d rejected  %d errors  hit rate %.2f\n",
 		s.Requests, s.AnalyzeRequests, s.RepairRequests, s.Analyses,
 		s.MemHits, s.DiskHits, s.Coalesced, s.Rejected, s.Errors, s.CacheHitRate)
+	if s.Panics+s.Quarantined+s.GCEvictions+s.InjectedFaults > 0 || s.DiskDegraded {
+		fmt.Printf("statsz: fault tolerance: %d panics  %d quarantined  %d gc evictions  %d disk bytes  degraded=%t  %d injected faults\n",
+			s.Panics, s.Quarantined, s.GCEvictions, s.DiskBytes, s.DiskDegraded, s.InjectedFaults)
+	}
 }

@@ -15,9 +15,30 @@
 //
 // Verdicts are cached under (program fingerprint, config cache key) in
 // a bounded in-memory LRU plus an optional on-disk tier (-cache-dir)
-// that survives restarts. Concurrent identical submissions coalesce
-// into one analysis. When the bounded work queue is full the daemon
-// answers 429 with Retry-After rather than queueing unboundedly.
+// that survives restarts. Disk entries are sha256-checksummed and
+// verified on read; corrupt or truncated files are quarantined, never
+// served. -cache-disk-bytes bounds the disk tier with LRU eviction.
+// Concurrent identical submissions coalesce into one analysis. When
+// the bounded work queue is full the daemon answers 429 with
+// Retry-After rather than queueing unboundedly.
+//
+// The daemon is built to survive its inputs: a panicking analysis is
+// recovered and answered as a structured 500 (code "engine_panic"),
+// disk I/O failures degrade to cache misses, and repeated disk
+// failures disable the persistent tier — /healthz then reports
+// "degraded" (still HTTP 200) and serving continues memory-only.
+// Every non-2xx response carries a stable machine-readable error code
+// (see the spectre package's ErrCode constants); /statsz exposes the
+// fault-tolerance counters (panics, quarantined, gcEvictions,
+// diskBytes, injectedFaults).
+//
+// For chaos testing only, the SPECTRED_FAULTS environment variable
+// installs a deterministic fault-injection plan, e.g.
+//
+//	SPECTRED_FAULTS="seed=7,engine=0.05,diskread=0.1,diskwrite=0.1,cachelookup=0.1,pooladmit=0.05"
+//
+// There is deliberately no flag: production configuration cannot turn
+// this on by accident.
 //
 // On SIGTERM or SIGINT the daemon stops accepting connections, lets
 // in-flight and queued analyses finish, then exits.
@@ -46,15 +67,20 @@ func main() {
 	queue := flag.Int("queue", 64, "bounded work queue depth (full queue → 429)")
 	memEntries := flag.Int("cache-entries", 1024, "in-memory verdict cache capacity")
 	cacheDir := flag.String("cache-dir", "", "persistent verdict cache directory (empty disables)")
+	cacheDiskBytes := flag.Int64("cache-disk-bytes", 0, "persistent-tier byte budget with LRU eviction (0 = unbounded)")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request analysis budget")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for open connections")
 	flag.Parse()
 
+	if spec := os.Getenv("SPECTRED_FAULTS"); spec != "" {
+		log.Printf("CHAOS: fault injection enabled: %s", spec)
+	}
 	if err := run(*addr, serve.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		MemEntries: *memEntries,
 		CacheDir:   *cacheDir,
+		DiskBytes:  *cacheDiskBytes,
 		Timeout:    *timeout,
 	}, *drainTimeout); err != nil {
 		log.Fatal(err)

@@ -19,6 +19,11 @@ import (
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flight
+	// wg tracks every flight-runner goroutine, so a draining server can
+	// wait for them instead of leaking work past shutdown. Runners never
+	// block indefinitely: their pool job either runs to completion
+	// during pool drain or is refused admission, so wait() terminates.
+	wg sync.WaitGroup
 }
 
 type flight struct {
@@ -48,7 +53,9 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 		g.m[key] = f
 		g.mu.Unlock()
+		g.wg.Add(1)
 		go func() {
+			defer g.wg.Done()
 			val, err := fn(fctx)
 			g.mu.Lock()
 			if g.m[key] == f {
@@ -80,3 +87,8 @@ func (g *flightGroup) Do(ctx context.Context, key string, fn func(context.Contex
 		return nil, joined, ctx.Err()
 	}
 }
+
+// wait blocks until every flight-runner goroutine has finished — the
+// flight half of a graceful drain. Call after the pool has drained so
+// no runner is still parked waiting for a worker.
+func (g *flightGroup) wait() { g.wg.Wait() }

@@ -12,6 +12,13 @@ type pool struct {
 	jobs   chan func()
 	closed bool
 	wg     sync.WaitGroup
+
+	// onPanic, when set, observes a panic that escaped a job. Jobs are
+	// expected to recover for themselves (the server's execution wrapper
+	// does); this is the backstop that keeps a worker goroutine alive —
+	// a panicking job must cost one request, never 1/workers of the
+	// daemon's capacity forever.
+	onPanic func(any)
 }
 
 func newPool(workers, depth int) *pool {
@@ -27,11 +34,22 @@ func newPool(workers, depth int) *pool {
 		go func() {
 			defer p.wg.Done()
 			for fn := range p.jobs {
-				fn()
+				p.runProtected(fn)
 			}
 		}()
 	}
 	return p
+}
+
+// runProtected runs one job, containing any panic it leaks so the
+// worker survives.
+func (p *pool) runProtected(fn func()) {
+	defer func() {
+		if r := recover(); r != nil && p.onPanic != nil {
+			p.onPanic(r)
+		}
+	}()
+	fn()
 }
 
 // trySubmit enqueues fn if queue capacity remains, and reports whether

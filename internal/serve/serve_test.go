@@ -297,7 +297,7 @@ func TestCancelPropagation(t *testing.T) {
 // disk-tier promotion, and the Keys union.
 func TestCacheTiers(t *testing.T) {
 	dir := t.TempDir()
-	c, err := NewCache(2, dir)
+	c, err := NewCache(2, dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +325,7 @@ func TestCacheTiers(t *testing.T) {
 	}
 
 	// A memory-only cache loses evicted entries entirely.
-	m, _ := NewCache(1, "")
+	m, _ := NewCache(1, "", 0)
 	m.Put("x", []byte("X"))
 	m.Put("y", []byte("Y"))
 	if _, tier := m.Get("x"); tier != TierNone {
@@ -434,6 +434,9 @@ func TestBadRequests(t *testing.T) {
 		var e ErrorResponse
 		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
 			t.Errorf("%s: error body %s", name, raw)
+		}
+		if e.Code != spectre.ErrCodeBadRequest {
+			t.Errorf("%s: error code %q, want %q", name, e.Code, spectre.ErrCodeBadRequest)
 		}
 	}
 }

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -32,6 +34,9 @@ type Config struct {
 	Timeout time.Duration
 	// MaxBodyBytes caps request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// DiskBytes bounds the persistent cache tier's total bytes; above
+	// it, least-recently-used entries are evicted. 0 means unbounded.
+	DiskBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -91,9 +96,25 @@ type RepairResponse struct {
 	RepairedProgram *spectre.Program `json:"repairedProgram,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. Code is one of
+// the stable spectre.ErrCode* identifiers — the machine-readable half
+// clients dispatch on; Error is the human-readable message, free to be
+// reworded.
 type ErrorResponse struct {
+	Code  string `json:"code,omitempty"`
 	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz. The endpoint always
+// answers 200 while the daemon can serve at all: "degraded" means a
+// subsystem (today: the persistent cache tier) has been disabled after
+// repeated failures but requests still succeed — a liveness probe must
+// not kill a daemon that is down one cache tier.
+type HealthResponse struct {
+	Status string `json:"status"` // "ok" or "degraded"
+	// DiskTier is "disabled" when repeated persistent-tier failures
+	// have degraded the daemon to memory-only caching.
+	DiskTier string `json:"diskTier,omitempty"`
 }
 
 // StatsResponse is the body of GET /statsz.
@@ -115,6 +136,17 @@ type StatsResponse struct {
 	Workers         int     `json:"workers"`
 	MemEntries      int     `json:"memEntries"`
 	DiskErrors      int64   `json:"diskErrors"`
+	// Fault-tolerance counters: recovered analysis panics, corrupt
+	// disk entries quarantined, byte-budget GC evictions, the current
+	// persistent-tier footprint, whether that tier has been disabled
+	// after repeated failures, and (under chaos testing only) how many
+	// faults the injection registry has fired.
+	Panics         int64 `json:"panics"`
+	Quarantined    int64 `json:"quarantined"`
+	GCEvictions    int64 `json:"gcEvictions"`
+	DiskBytes      int64 `json:"diskBytes"`
+	DiskDegraded   bool  `json:"diskDegraded,omitempty"`
+	InjectedFaults int64 `json:"injectedFaults,omitempty"`
 }
 
 // errQueueFull is the admission failure trySubmit surfaces; the HTTP
@@ -147,6 +179,10 @@ type Server struct {
 	rejected    atomic.Int64
 	errCount    atomic.Int64
 	inFlight    atomic.Int64
+	panics      atomic.Int64
+
+	// flt is the installed fault-injection plan; nil in production.
+	flt *faults
 
 	// runAnalysis and runRepair are the engine entry points. They exist
 	// as fields so service tests can substitute instrumented or blocking
@@ -160,7 +196,13 @@ type Server struct {
 // GET /v1/report works across restarts.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	cache, err := NewCache(cfg.MemEntries, cfg.CacheDir)
+	// Fault injection is opt-in through the environment only (chaos
+	// testing); an unset variable yields a nil plan and zero overhead.
+	flt, err := faultsFromEnv()
+	if err != nil {
+		return nil, err
+	}
+	cache, err := NewCache(cfg.MemEntries, cfg.CacheDir, cfg.DiskBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -177,6 +219,8 @@ func New(cfg Config) (*Server, error) {
 			return an.Repair(ctx, p)
 		},
 	}
+	s.setFaults(flt)
+	s.pool.onPanic = func(any) { s.panics.Add(1) }
 	for _, key := range cache.Keys() {
 		if fp, ok := analyzeKeyFingerprint(key); ok {
 			s.byFP[fp] = key
@@ -195,10 +239,26 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// setFaults installs a fault plan on the server and its cache. Only
+// called before the server takes traffic (from New, or from a test
+// before it starts posting).
+func (s *Server) setFaults(f *faults) {
+	s.flt = f
+	s.cache.flt = f
+}
+
 // Drain stops admitting work and waits for every queued and running
-// analysis to finish. Call it after http.Server.Shutdown has stopped
-// new connections; subsequent submissions are rejected with 429.
-func (s *Server) Drain() { s.pool.drain() }
+// analysis to finish, then for every flight-runner goroutine to exit.
+// Call it after http.Server.Shutdown has stopped new connections;
+// subsequent submissions are rejected with 429. After Drain returns,
+// the server holds no goroutines: pool workers have exited, flight
+// runners have completed (their jobs either ran during the drain or
+// were refused admission and returned immediately), and disk writes —
+// which happen synchronously inside jobs — have all landed.
+func (s *Server) Drain() {
+	s.pool.drain()
+	s.flights.wait()
+}
 
 // analyzeKey and repairKey build the cache/flight keys. Both halves
 // are fixed-width lowercase hex (stability-pinned in the spectre
@@ -297,7 +357,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	s.analyzeReqs.Add(1)
 	prog, an, err := s.decodeRequest(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, spectre.ErrCodeBadRequest, err)
 		return
 	}
 	fp := prog.Fingerprint()
@@ -342,7 +402,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	s.repairReqs.Add(1)
 	prog, an, err := s.decodeRequest(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err)
+		s.writeError(w, http.StatusBadRequest, spectre.ErrCodeBadRequest, err)
 		return
 	}
 	fp := prog.Fingerprint()
@@ -396,12 +456,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	key, ok := s.byFP[fp]
 	s.fpMu.Unlock()
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("no cached report for fingerprint %s", fp))
+		s.writeError(w, http.StatusNotFound, spectre.ErrCodeNotFound, fmt.Errorf("no cached report for fingerprint %s", fp))
 		return
 	}
 	raw, tier := s.cache.Get(key)
 	if tier == TierNone {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("report for fingerprint %s evicted", fp))
+		s.writeError(w, http.StatusNotFound, spectre.ErrCodeNotFound, fmt.Errorf("report for fingerprint %s evicted", fp))
 		return
 	}
 	s.recordHit(tier)
@@ -409,8 +469,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	resp := HealthResponse{Status: "ok"}
+	if s.cache.Stats().DiskDegraded {
+		resp.Status = "degraded"
+		resp.DiskTier = "disabled"
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
@@ -425,6 +489,7 @@ func (s *Server) Stats() StatsResponse {
 	if verdictReqs > 0 {
 		rate = float64(hits) / float64(verdictReqs)
 	}
+	cs := s.cache.Stats()
 	return StatsResponse{
 		UptimeSeconds:   time.Since(s.started).Seconds(),
 		Requests:        s.requests.Load(),
@@ -442,7 +507,13 @@ func (s *Server) Stats() StatsResponse {
 		QueueCapacity:   s.cfg.QueueDepth,
 		Workers:         s.cfg.Workers,
 		MemEntries:      s.cache.MemLen(),
-		DiskErrors:      s.cache.DiskErrors(),
+		DiskErrors:      cs.DiskErrors,
+		Panics:          s.panics.Load(),
+		Quarantined:     cs.Quarantined,
+		GCEvictions:     cs.GCEvictions,
+		DiskBytes:       cs.DiskBytes,
+		DiskDegraded:    cs.DiskDegraded,
+		InjectedFaults:  s.flt.injectedCount(),
 	}
 }
 
@@ -455,6 +526,15 @@ type jobResult struct {
 	err error
 }
 
+// panicError wraps a recovered analysis panic so it can flow through
+// the flight group to every waiter as an ordinary error and be mapped
+// to a structured 500 with a stable code.
+type panicError struct{ val any }
+
+func (e *panicError) Error() string {
+	return fmt.Sprintf("analysis panicked: %v", e.val)
+}
+
 // runJob admits work onto the bounded pool and waits for it. ctx is
 // the flight context: it stays live while any request is waiting on
 // this job and is cancelled when the last one leaves, which is how a
@@ -462,29 +542,13 @@ type jobResult struct {
 // per-request budget starts when a worker picks the job up, so queue
 // wait doesn't eat analysis time.
 func (s *Server) runJob(ctx context.Context, run func(context.Context) ([]byte, error)) ([]byte, error) {
+	if s.flt.fire(sitePoolAdmit) {
+		s.rejected.Add(1)
+		return nil, errQueueFull
+	}
 	res := make(chan jobResult, 1)
 	admitted := s.pool.trySubmit(func() {
-		if err := ctx.Err(); err != nil {
-			res <- jobResult{err: err}
-			return
-		}
-		s.inFlight.Add(1)
-		defer s.inFlight.Add(-1)
-		runCtx, cancel := ctx, func() {}
-		if s.cfg.Timeout > 0 {
-			runCtx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
-		}
-		defer cancel()
-		raw, err := run(runCtx)
-		switch {
-		case err == nil:
-			s.analyses.Add(1)
-		case errors.Is(err, context.Canceled):
-			// Abandoned flight — every waiter left. Not a service error.
-		default:
-			s.errCount.Add(1)
-		}
-		res <- jobResult{raw: raw, err: err}
+		res <- s.executeJob(ctx, run)
 	})
 	if !admitted {
 		s.rejected.Add(1)
@@ -492,6 +556,52 @@ func (s *Server) runJob(ctx context.Context, run func(context.Context) ([]byte, 
 	}
 	jr := <-res
 	return jr.raw, jr.err
+}
+
+// executeJob runs one admitted job under the per-request budget inside
+// the panic-isolation boundary: a panicking analysis is recovered
+// here, counted, and converted into a panicError. Because executeJob
+// always returns (never re-panics), the result send in runJob's
+// closure always happens — waiters cannot hang on a crashed job — and
+// because the error propagates through the flight group like any
+// other, every coalesced waiter sees the failure and the flight
+// unmaps, so a poisoned flight cannot wedge future identical requests.
+func (s *Server) executeJob(ctx context.Context, run func(context.Context) ([]byte, error)) (jr jobResult) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.panics.Add(1)
+		s.errCount.Add(1)
+		if r != any(errInjectedPanic) {
+			log.Printf("serve: recovered analysis panic: %v\n%s", r, debug.Stack())
+		}
+		jr = jobResult{err: &panicError{val: r}}
+	}()
+	if err := ctx.Err(); err != nil {
+		return jobResult{err: err}
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+	runCtx, cancel := ctx, context.CancelFunc(func() {})
+	if s.cfg.Timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+	}
+	defer cancel()
+	if s.flt.fire(siteEngine) {
+		panic(errInjectedPanic)
+	}
+	raw, err := run(runCtx)
+	switch {
+	case err == nil:
+		s.analyses.Add(1)
+	case errors.Is(err, context.Canceled):
+		// Abandoned flight — every waiter left. Not a service error.
+	default:
+		s.errCount.Add(1)
+	}
+	return jobResult{raw: raw, err: err}
 }
 
 // ---------------------------------------------------------------------
@@ -524,7 +634,7 @@ func (s *Server) writeAnalyze(w http.ResponseWriter, raw []byte, cacheHit, coale
 	}
 	var env AnalyzeResponse
 	if err := json.Unmarshal(raw, &env); err != nil {
-		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("corrupt cache entry: %w", err))
+		s.writeError(w, http.StatusInternalServerError, spectre.ErrCodeInternal, fmt.Errorf("corrupt cache entry: %w", err))
 		return
 	}
 	if env.Report != nil {
@@ -541,7 +651,7 @@ func (s *Server) writeRepair(w http.ResponseWriter, raw []byte, cacheHit, coales
 	}
 	var env RepairResponse
 	if err := json.Unmarshal(raw, &env); err != nil {
-		s.writeError(w, http.StatusInternalServerError, fmt.Errorf("corrupt cache entry: %w", err))
+		s.writeError(w, http.StatusInternalServerError, spectre.ErrCodeInternal, fmt.Errorf("corrupt cache entry: %w", err))
 		return
 	}
 	env.CacheHit = cacheHit
@@ -563,22 +673,27 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 
 // writeJobError maps an analysis failure onto HTTP semantics: a full
 // queue is backpressure (429 + Retry-After), an exhausted budget is a
-// gateway timeout, a request whose client already left gets nothing.
+// gateway timeout, a recovered panic is a structured 500 with the
+// stable engine_panic code, a request whose client already left gets
+// nothing.
 func (s *Server) writeJobError(w http.ResponseWriter, r *http.Request, err error) {
+	var pe *panicError
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusTooManyRequests, err)
+		s.writeError(w, http.StatusTooManyRequests, spectre.ErrCodeQueueFull, err)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.writeError(w, http.StatusGatewayTimeout,
+		s.writeError(w, http.StatusGatewayTimeout, spectre.ErrCodeTimeout,
 			fmt.Errorf("analysis exceeded the %s budget", s.cfg.Timeout))
+	case errors.As(err, &pe):
+		s.writeError(w, http.StatusInternalServerError, spectre.ErrCodeEnginePanic, err)
 	case r.Context().Err() != nil:
 		// The client disconnected; the connection is dead.
 	default:
-		s.writeError(w, http.StatusInternalServerError, err)
+		s.writeError(w, http.StatusInternalServerError, spectre.ErrCodeInternal, err)
 	}
 }
 
-func (s *Server) writeError(w http.ResponseWriter, code int, err error) {
-	s.writeJSON(w, code, ErrorResponse{Error: err.Error()})
+func (s *Server) writeError(w http.ResponseWriter, status int, code string, err error) {
+	s.writeJSON(w, status, ErrorResponse{Code: code, Error: err.Error()})
 }

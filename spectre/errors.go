@@ -1,0 +1,44 @@
+package spectre
+
+// Service error codes — the stable, machine-readable half of the
+// serving layer's error surface. Every non-2xx response from spectred
+// carries one of these in the envelope's "code" field alongside the
+// human-readable message. Clients (CI gates, retrying load generators,
+// editor integrations) dispatch on the code, never on message text:
+// messages may be reworded, codes are frozen the same way the report
+// schema is. New failure classes get new codes; existing codes never
+// change meaning or spelling.
+//
+// The codes partition by who should act:
+//
+//   - ErrCodeBadRequest, ErrCodeNotFound: the request itself is wrong;
+//     retrying the same bytes cannot succeed.
+//   - ErrCodeQueueFull, ErrCodeTimeout: the service is healthy but
+//     loaded or the program is too expensive for the configured budget;
+//     back off (honoring Retry-After when present) and retry.
+//   - ErrCodeEnginePanic: one analysis crashed and was isolated; the
+//     daemon is still up and an identical retry runs a fresh analysis.
+//   - ErrCodeInternal: an unclassified serving-layer failure.
+const (
+	// ErrCodeBadRequest marks a malformed or unprocessable request:
+	// invalid JSON, an unknown schema version, a program or config that
+	// does not validate.
+	ErrCodeBadRequest = "bad_request"
+	// ErrCodeNotFound marks a lookup (GET /v1/report/{fingerprint})
+	// whose key the service has never seen or no longer holds.
+	ErrCodeNotFound = "not_found"
+	// ErrCodeQueueFull is backpressure: the bounded work queue is full.
+	// Served as HTTP 429 with Retry-After.
+	ErrCodeQueueFull = "queue_full"
+	// ErrCodeTimeout marks an analysis that exceeded the per-request
+	// budget. Served as HTTP 504.
+	ErrCodeTimeout = "timeout"
+	// ErrCodeEnginePanic marks an analysis that panicked and was
+	// contained by the serving layer's isolation boundary. The daemon
+	// survives; the flight the panic poisoned is unmapped so identical
+	// retries start clean. Served as HTTP 500.
+	ErrCodeEnginePanic = "engine_panic"
+	// ErrCodeInternal marks any other serving-layer failure. Served as
+	// HTTP 500.
+	ErrCodeInternal = "internal"
+)

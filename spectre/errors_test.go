@@ -1,0 +1,38 @@
+package spectre
+
+import "testing"
+
+// TestErrorCodeStability pins the service error-code spellings the same
+// way the fingerprint digests are pinned: clients dispatch on these
+// strings, so changing one is a wire-compatibility break and must be a
+// deliberate decision, not a refactor side effect.
+func TestErrorCodeStability(t *testing.T) {
+	pinned := map[string]string{
+		"ErrCodeBadRequest":  ErrCodeBadRequest,
+		"ErrCodeNotFound":    ErrCodeNotFound,
+		"ErrCodeQueueFull":   ErrCodeQueueFull,
+		"ErrCodeTimeout":     ErrCodeTimeout,
+		"ErrCodeEnginePanic": ErrCodeEnginePanic,
+		"ErrCodeInternal":    ErrCodeInternal,
+	}
+	want := map[string]string{
+		"ErrCodeBadRequest":  "bad_request",
+		"ErrCodeNotFound":    "not_found",
+		"ErrCodeQueueFull":   "queue_full",
+		"ErrCodeTimeout":     "timeout",
+		"ErrCodeEnginePanic": "engine_panic",
+		"ErrCodeInternal":    "internal",
+	}
+	for name, got := range pinned {
+		if got != want[name] {
+			t.Errorf("%s = %q, want %q (error codes are frozen wire surface)", name, got, want[name])
+		}
+	}
+	seen := map[string]bool{}
+	for name, code := range pinned {
+		if seen[code] {
+			t.Errorf("%s reuses code %q", name, code)
+		}
+		seen[code] = true
+	}
+}
